@@ -1,0 +1,325 @@
+package xcql_test
+
+// Benchmarks regenerating the paper's evaluation (§7) and the ablations
+// called out in DESIGN.md.
+//
+//	BenchmarkFigure4/…        one sub-benchmark per cell of Figure 4
+//	                          (query × size × method)
+//	BenchmarkFigure4Indexed/… the indexing ablation (production store)
+//	BenchmarkSelectivity/…    Q5's price threshold swept
+//	BenchmarkGranularity/…    fragmentation granularity: fine vs coarse
+//	BenchmarkGetFillers/…     hole resolution: indexed vs scan cost model
+//	BenchmarkReconstruction/… recursive temporalize vs schema-driven (§5.1)
+//	BenchmarkContinuous/…     per-arrival re-evaluation latency
+//
+// Under -short the grid shrinks to the quick scales; the full run uses
+// the paper's sizes (~27 KB / 5.8 MB / 11.8 MB).
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"xcql/internal/evalbench"
+	"xcql/internal/fragment"
+	"xcql/internal/tagstruct"
+	"xcql/internal/temporal"
+	ixcql "xcql/internal/xcql"
+	"xcql/internal/xmark"
+	"xcql/internal/xmldom"
+)
+
+func benchScales(b *testing.B) []float64 {
+	if testing.Short() {
+		return evalbench.QuickScales
+	}
+	return evalbench.Scales
+}
+
+var datasetCache = map[string]*evalbench.Dataset{}
+
+func dataset(b *testing.B, scale float64, scan bool) *evalbench.Dataset {
+	b.Helper()
+	key := fmt.Sprintf("%v/%v", scale, scan)
+	if ds, ok := datasetCache[key]; ok {
+		return ds
+	}
+	ds, err := evalbench.Build(scale, scan)
+	if err != nil {
+		b.Fatal(err)
+	}
+	datasetCache[key] = ds
+	return ds
+}
+
+// BenchmarkFigure4 is the paper's Figure 4: run time of Q1/Q2/Q5 over
+// fragmented XMark streams under QaC+, QaC and CaQ, with the published
+// linear-scan get_fillers cost model.
+func BenchmarkFigure4(b *testing.B) {
+	for _, scale := range benchScales(b) {
+		for _, query := range evalbench.Queries() {
+			for _, mode := range evalbench.Modes {
+				name := fmt.Sprintf("%s/sf=%g/%s", query.Name, scale, mode)
+				b.Run(name, func(b *testing.B) {
+					ds := dataset(b, scale, true)
+					q, err := ds.Runtime.Compile(query.Src, mode)
+					if err != nil {
+						b.Fatal(err)
+					}
+					b.ReportMetric(float64(ds.FileSize), "doc-bytes")
+					b.ResetTimer()
+					for i := 0; i < b.N; i++ {
+						if _, err := q.Eval(evalbench.EvalInstant); err != nil {
+							b.Fatal(err)
+						}
+					}
+				})
+			}
+		}
+	}
+}
+
+// BenchmarkFigure4Indexed is the indexing ablation: the same cells over
+// the production indexed store. The CaQ ≫ QaC ≫ QaC+ separation collapses
+// to the work each plan actually touches, showing how much of the
+// published gap is the get_fillers scan itself.
+func BenchmarkFigure4Indexed(b *testing.B) {
+	scale := 0.05
+	if testing.Short() {
+		scale = 0.01
+	}
+	for _, query := range evalbench.Queries() {
+		for _, mode := range evalbench.Modes {
+			b.Run(fmt.Sprintf("%s/%s", query.Name, mode), func(b *testing.B) {
+				ds := dataset(b, scale, false)
+				q, err := ds.Runtime.Compile(query.Src, mode)
+				if err != nil {
+					b.Fatal(err)
+				}
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					if _, err := q.Eval(evalbench.EvalInstant); err != nil {
+						b.Fatal(err)
+					}
+				}
+			})
+		}
+	}
+}
+
+// BenchmarkSelectivity sweeps Q5's price threshold under QaC and QaC+:
+// access cost dominates QaC regardless of selectivity, while QaC+ scales
+// with the touched fragments — §7's observation that the gap widens on
+// selective queries.
+func BenchmarkSelectivity(b *testing.B) {
+	scale := 0.05
+	if testing.Short() {
+		scale = 0.01
+	}
+	for _, threshold := range []int{0, 40, 120, 190} {
+		for _, mode := range []ixcql.Mode{ixcql.QaCPlus, ixcql.QaC} {
+			b.Run(fmt.Sprintf("price>=%d/%s", threshold, mode), func(b *testing.B) {
+				ds := dataset(b, scale, true)
+				src := fmt.Sprintf(`count(for $i in stream("auction")/site/closed_auctions/closed_auction
+				                      where $i/price >= %d return $i/price)`, threshold)
+				q, err := ds.Runtime.Compile(src, mode)
+				if err != nil {
+					b.Fatal(err)
+				}
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					if _, err := q.Eval(evalbench.EvalInstant); err != nil {
+						b.Fatal(err)
+					}
+				}
+			})
+		}
+	}
+}
+
+// BenchmarkGranularity compares fragmentation granularities of the same
+// document — §4's "reasonable fragmentation" trade-off. Finer cuts cost
+// wire bytes (reported as metrics) but keep updates small; query time for
+// Q5 is nearly unaffected because closed auctions fragment in both.
+func BenchmarkGranularity(b *testing.B) {
+	doc := xmark.Generate(xmark.Config{Scale: 0.01, Seed: 1})
+	for _, g := range []struct {
+		name string
+		s    *tagstruct.Structure
+	}{
+		{"fine", xmark.Structure()},
+		{"coarse", xmark.CoarseStructure()},
+	} {
+		fr := fragment.NewFragmenter(g.s)
+		frags, err := fr.Fragment(doc.Clone())
+		if err != nil {
+			b.Fatal(err)
+		}
+		st := fragment.NewStore(g.s)
+		if err := st.AddAll(frags); err != nil {
+			b.Fatal(err)
+		}
+		rt := ixcql.NewRuntime()
+		rt.RegisterStream("auction", st)
+		q, err := rt.Compile(xmark.QueryQ5(), ixcql.QaCPlus)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.Run(g.name, func(b *testing.B) {
+			b.ReportMetric(float64(len(frags)), "fragments")
+			b.ReportMetric(float64(xmark.FragmentedSize(frags)), "wire-bytes")
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := q.Eval(evalbench.EvalInstant); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkGetFillers measures hole resolution itself: indexed store
+// versus the paper's scan cost model, at two stream sizes.
+func BenchmarkGetFillers(b *testing.B) {
+	for _, scale := range []float64{0.005, 0.02} {
+		for _, scan := range []bool{false, true} {
+			label := "indexed"
+			if scan {
+				label = "scan"
+			}
+			b.Run(fmt.Sprintf("sf=%g/%s", scale, label), func(b *testing.B) {
+				ds := dataset(b, scale, scan)
+				ids := ds.Store.FillerIDs()
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					id := ids[i%len(ids)]
+					_ = ds.Store.GetFillers(id, evalbench.EvalInstant)
+				}
+			})
+		}
+	}
+}
+
+// BenchmarkReconstruction compares §5's recursive temporalize with the
+// §5.1 schema-driven (flattened) reconstruction.
+func BenchmarkReconstruction(b *testing.B) {
+	ds := dataset(b, 0.01, false)
+	b.Run("recursive", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := temporal.Temporalize(ds.Store, evalbench.EvalInstant); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("schema-driven", func(b *testing.B) {
+		r := temporal.NewReconstructor(ds.Store.Structure())
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, err := r.Materialize(ds.Store, evalbench.EvalInstant); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+const benchCreditStructure = `<stream:structure>
+<tag type="snapshot" id="1" name="creditAccounts">
+  <tag type="temporal" id="2" name="account">
+    <tag type="snapshot" id="3" name="customer"/>
+    <tag type="temporal" id="4" name="creditLimit"/>
+    <tag type="event" id="5" name="transaction">
+      <tag type="snapshot" id="6" name="vendor"/>
+      <tag type="temporal" id="7" name="status"/>
+      <tag type="snapshot" id="8" name="amount"/>
+    </tag>
+  </tag>
+</tag>
+</stream:structure>`
+
+// BenchmarkContinuous measures the per-arrival latency of re-evaluating
+// the paper's fraud-style sliding-window query as charge events stream in.
+func BenchmarkContinuous(b *testing.B) {
+	for _, preload := range []int{100, 1000} {
+		b.Run(fmt.Sprintf("events=%d", preload), func(b *testing.B) {
+			structure, err := tagstruct.ParseString(benchCreditStructure)
+			if err != nil {
+				b.Fatal(err)
+			}
+			st := fragment.NewStore(structure)
+			base := time.Date(2003, time.November, 1, 0, 0, 0, 0, time.UTC)
+			el := func(src string) *xmldom.Node { return xmldom.MustParseString(src).Root() }
+			holes := `<hole id="2" tsid="4"/>`
+			for i := 0; i < preload; i++ {
+				holes += fmt.Sprintf(`<hole id="%d" tsid="5"/>`, 100+i)
+			}
+			mustAdd(b, st, fragment.New(0, 1, base, el(`<creditAccounts><hole id="1" tsid="2"/></creditAccounts>`)))
+			mustAdd(b, st, fragment.New(1, 2, base, el(`<account id="1234"><customer>J</customer>`+holes+`</account>`)))
+			mustAdd(b, st, fragment.New(2, 4, base, el(`<creditLimit>5000</creditLimit>`)))
+			for i := 0; i < preload; i++ {
+				tx := fmt.Sprintf(`<transaction id="t%d"><vendor>V</vendor><amount>%d</amount></transaction>`, i, 10+i%90)
+				mustAdd(b, st, fragment.New(100+i, 5, base.Add(time.Duration(i)*time.Second), el(tx)))
+			}
+			rt := ixcql.NewRuntime()
+			rt.RegisterStream("credit", st)
+			q, err := rt.Compile(`for $a in stream("credit")//account
+				where sum($a/transaction?[now-PT1H,now]/amount) >= 5000
+				return $a/@id`, ixcql.QaCPlus)
+			if err != nil {
+				b.Fatal(err)
+			}
+			at := base.Add(time.Duration(preload) * time.Second)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := q.Eval(at); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkFragmenter measures document fragmentation throughput.
+func BenchmarkFragmenter(b *testing.B) {
+	doc := xmark.Generate(xmark.Config{Scale: 0.01, Seed: 1})
+	size := len(doc.Root().String())
+	s := xmark.Structure()
+	b.SetBytes(int64(size))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		fr := fragment.NewFragmenter(s)
+		if _, err := fr.Fragment(doc); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkParseQuery measures XCQL parsing plus Figure-3 translation.
+func BenchmarkParseQuery(b *testing.B) {
+	ds := dataset(b, 0, false)
+	src := xmark.QueryQ2()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := ds.Runtime.Compile(src, ixcql.QaCPlus); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkXMLParse measures the streaming XML parser on generated data.
+func BenchmarkXMLParse(b *testing.B) {
+	src := xmark.Generate(xmark.Config{Scale: 0.005, Seed: 1}).Root().String()
+	b.SetBytes(int64(len(src)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := xmldom.ParseString(src); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func mustAdd(b *testing.B, st *fragment.Store, f *fragment.Fragment) {
+	b.Helper()
+	if err := st.Add(f); err != nil {
+		b.Fatal(err)
+	}
+}

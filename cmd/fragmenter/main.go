@@ -1,0 +1,85 @@
+// Command fragmenter cuts an XML document into Hole-Filler fragments
+// along a tag structure — what a stream server does before transmitting.
+//
+// Usage:
+//
+//	fragmenter -structure structure.xml -in doc.xml > fillers.xml
+//	fragmenter -infer -in doc.xml          # derive the structure first
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"os"
+
+	"xcql/internal/fragment"
+	"xcql/internal/tagstruct"
+	"xcql/internal/xmldom"
+)
+
+func main() {
+	structPath := flag.String("structure", "", "tag structure file (wire form)")
+	inPath := flag.String("in", "", "input XML document ('-' or empty = stdin)")
+	infer := flag.Bool("infer", false, "infer the tag structure from the document")
+	coalesce := flag.Bool("coalesce", true, "treat vtFrom-annotated temporal siblings as versions")
+	printStructure := flag.Bool("print-structure", false, "also print the structure to stderr")
+	flag.Parse()
+
+	doc, err := readDoc(*inPath)
+	if err != nil {
+		fatal(err)
+	}
+	var structure *tagstruct.Structure
+	switch {
+	case *infer:
+		structure, err = tagstruct.Infer(doc)
+	case *structPath != "":
+		var f *os.File
+		f, err = os.Open(*structPath)
+		if err == nil {
+			structure, err = tagstruct.Parse(f)
+			f.Close()
+		}
+	default:
+		err = fmt.Errorf("either -structure or -infer is required")
+	}
+	if err != nil {
+		fatal(err)
+	}
+	if *printStructure {
+		fmt.Fprintln(os.Stderr, structure.String())
+	}
+	fr := fragment.NewFragmenter(structure)
+	fr.CoalesceVersions = *coalesce
+	frags, err := fr.Fragment(doc)
+	if err != nil {
+		fatal(err)
+	}
+	out := bufio.NewWriterSize(os.Stdout, 1<<20)
+	defer out.Flush()
+	for _, f := range frags {
+		if err := f.ToXML().Encode(out); err != nil {
+			fatal(err)
+		}
+		fmt.Fprintln(out)
+	}
+	fmt.Fprintf(os.Stderr, "%d fragments\n", len(frags))
+}
+
+func readDoc(path string) (*xmldom.Node, error) {
+	if path == "" || path == "-" {
+		return xmldom.Parse(os.Stdin)
+	}
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return xmldom.Parse(f)
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "fragmenter:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,133 @@
+// Command xcqlrun evaluates an XCQL query against a fragment stream read
+// from a file (the output of fragmenter or xmlgen -fragments).
+//
+// Usage:
+//
+//	xcqlrun -structure s.xml -fragments f.xml -stream credit \
+//	        -mode QaC+ -at 2003-11-15T12:00:00 \
+//	        'for $a in stream("credit")//account return $a/customer'
+//
+// With -plan the translated query is printed instead of being run.
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"time"
+
+	"xcql"
+	"xcql/internal/fragment"
+	"xcql/internal/tagstruct"
+	"xcql/internal/xmldom"
+)
+
+func main() {
+	structPath := flag.String("structure", "", "tag structure file (wire form)")
+	fragPath := flag.String("fragments", "", "fragment stream file")
+	streamName := flag.String("stream", "stream", "name the fragments are registered under")
+	modeStr := flag.String("mode", "QaC+", "execution plan: CaQ, QaC or QaC+")
+	atStr := flag.String("at", "now", "evaluation instant (ISO-8601 or 'now')")
+	showPlan := flag.Bool("plan", false, "print the translated plan instead of evaluating")
+	queryFile := flag.String("f", "", "read the query from a file instead of argv")
+	flag.Parse()
+
+	query, err := readQuery(*queryFile, flag.Args())
+	if err != nil {
+		fatal(err)
+	}
+	mode, err := xcql.ParseMode(*modeStr)
+	if err != nil {
+		fatal(err)
+	}
+	at := time.Now().UTC()
+	if *atStr != "now" {
+		dt, err := xcql.ParseDateTime(*atStr)
+		if err != nil {
+			fatal(err)
+		}
+		at = dt.Resolve(time.Now().UTC())
+	}
+
+	engine := xcql.NewEngine()
+	if *structPath != "" {
+		structure, store, err := loadStream(*structPath, *fragPath)
+		if err != nil {
+			fatal(err)
+		}
+		_ = structure
+		engine.RegisterStore(*streamName, store)
+	}
+	q, err := engine.Compile(query, mode)
+	if err != nil {
+		fatal(err)
+	}
+	if *showPlan {
+		fmt.Println(q.Plan.String())
+		return
+	}
+	start := time.Now()
+	seq, err := q.Eval(at)
+	if err != nil {
+		fatal(err)
+	}
+	elapsed := time.Since(start)
+	fmt.Println(xcql.FormatSequence(seq))
+	fmt.Fprintf(os.Stderr, "%d item(s), %s plan, %v\n", len(seq), mode, elapsed)
+}
+
+func readQuery(file string, args []string) (string, error) {
+	if file != "" {
+		b, err := os.ReadFile(file)
+		return string(b), err
+	}
+	if len(args) == 1 {
+		return args[0], nil
+	}
+	return "", fmt.Errorf("pass the query as the single argument or via -f")
+}
+
+func loadStream(structPath, fragPath string) (*tagstruct.Structure, *fragment.Store, error) {
+	sf, err := os.Open(structPath)
+	if err != nil {
+		return nil, nil, err
+	}
+	structure, err := tagstruct.Parse(sf)
+	sf.Close()
+	if err != nil {
+		return nil, nil, err
+	}
+	store := fragment.NewStore(structure)
+	if fragPath != "" {
+		ff, err := os.Open(fragPath)
+		if err != nil {
+			return nil, nil, err
+		}
+		defer ff.Close()
+		dec := xmldom.NewStreamDecoder(bufio.NewReaderSize(ff, 1<<20))
+		for {
+			el, err := dec.ReadElement()
+			if err == io.EOF {
+				break
+			}
+			if err != nil {
+				return nil, nil, err
+			}
+			f, err := fragment.FromXML(el)
+			if err != nil {
+				return nil, nil, err
+			}
+			if err := store.Add(f); err != nil {
+				return nil, nil, err
+			}
+		}
+	}
+	return structure, store, nil
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "xcqlrun:", err)
+	os.Exit(1)
+}

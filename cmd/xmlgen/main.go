@@ -1,0 +1,62 @@
+// Command xmlgen generates XMark-style auction data — the workload of the
+// paper's evaluation — either as a whole XML document or as the
+// fragmented stream a server would transmit.
+//
+// Usage:
+//
+//	xmlgen -scale 0.05 > auction.xml
+//	xmlgen -scale 0.05 -fragments > auction_fillers.xml
+//	xmlgen -structure > auction_structure.xml
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"os"
+
+	"xcql/internal/xmark"
+)
+
+func main() {
+	scale := flag.Float64("scale", 0.0, "XMark scaling factor (0 = minimal document)")
+	seed := flag.Uint64("seed", 1, "deterministic generator seed")
+	fragments := flag.Bool("fragments", false, "emit the fragmented stream instead of the document")
+	structure := flag.Bool("structure", false, "emit the stream's tag structure and exit")
+	stats := flag.Bool("stats", false, "print sizes to stderr")
+	flag.Parse()
+
+	out := bufio.NewWriterSize(os.Stdout, 1<<20)
+	defer out.Flush()
+
+	if *structure {
+		fmt.Fprintln(out, xmark.Structure().String())
+		return
+	}
+	cfg := xmark.Config{Scale: *scale, Seed: *seed}
+	if *fragments {
+		s, frags, plain := xmark.GenerateFragments(cfg)
+		_ = s
+		for _, f := range frags {
+			if err := f.ToXML().Encode(out); err != nil {
+				fmt.Fprintln(os.Stderr, "xmlgen:", err)
+				os.Exit(1)
+			}
+			fmt.Fprintln(out)
+		}
+		if *stats {
+			fmt.Fprintf(os.Stderr, "document: %d bytes, fragmented: %d bytes, fragments: %d\n",
+				plain, xmark.FragmentedSize(frags), len(frags))
+		}
+		return
+	}
+	doc := xmark.Generate(cfg)
+	if err := doc.Root().Encode(out); err != nil {
+		fmt.Fprintln(os.Stderr, "xmlgen:", err)
+		os.Exit(1)
+	}
+	fmt.Fprintln(out)
+	if *stats {
+		fmt.Fprintf(os.Stderr, "document: %d bytes\n", len(doc.Root().String()))
+	}
+}

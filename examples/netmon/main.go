@@ -1,0 +1,101 @@
+// Network monitoring (§2, example 1): two streams from a backbone router
+// — SYN packets and ACK packets — and a continuous query that flags
+// connections not acknowledged within a minute.
+//
+//	go run ./examples/netmon
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"xcql"
+)
+
+const synStructure = `<stream:structure>
+<tag type="snapshot" id="1" name="gsyn">
+  <tag type="event" id="2" name="packet">
+    <tag type="snapshot" id="3" name="id"/>
+    <tag type="snapshot" id="4" name="srcIP"/>
+    <tag type="snapshot" id="5" name="srcPort"/>
+  </tag>
+</tag>
+</stream:structure>`
+
+const ackStructure = `<stream:structure>
+<tag type="snapshot" id="1" name="ack">
+  <tag type="event" id="2" name="packet">
+    <tag type="snapshot" id="3" name="id"/>
+    <tag type="snapshot" id="4" name="destIP"/>
+    <tag type="snapshot" id="5" name="destPort"/>
+  </tag>
+</tag>
+</stream:structure>`
+
+// The paper's query, verbatim save for the stream plumbing: a SYN is
+// misbehaving when no ACK with matching id/address arrives in the window
+// [vtFrom($s)+PT1M, now] — i.e. it was never acknowledged and a minute
+// has passed.
+const query = `
+for $s in stream("gsyn")//packet
+where not (some $a in stream("ack")//packet
+                      ?[vtFrom($s),vtFrom($s)+PT1M]
+           satisfies $s/id = $a/id
+           and $s/srcIP = $a/destIP
+           and $s/srcPort = $a/destPort)
+  and vtFrom($s)+PT1M < now
+return <warning> { $s/id/text() } </warning>`
+
+func main() {
+	engine := xcql.NewEngine()
+	syn := engine.AddEmptyStream("gsyn", xcql.MustParseTagStructure(synStructure))
+	ack := engine.AddEmptyStream("ack", xcql.MustParseTagStructure(ackStructure))
+
+	ts := func(s string) time.Time {
+		t, err := time.Parse("2006-01-02T15:04:05", s)
+		if err != nil {
+			log.Fatal(err)
+		}
+		return t.UTC()
+	}
+	el := func(src string) *xcql.Node { return xcql.MustParseDocument(src).Root() }
+	must := func(err error) {
+		if err != nil {
+			log.Fatal(err)
+		}
+	}
+
+	must(syn.Add(xcql.NewFragment(0, 1, ts("2003-06-01T00:00:00"),
+		el(`<gsyn><hole id="1" tsid="2"/><hole id="2" tsid="2"/><hole id="3" tsid="2"/></gsyn>`))))
+	must(ack.Add(xcql.NewFragment(0, 1, ts("2003-06-01T00:00:00"),
+		el(`<ack><hole id="101" tsid="2"/></ack>`))))
+
+	// three SYNs
+	must(syn.Add(xcql.NewFragment(1, 2, ts("2003-06-01T10:00:00"),
+		el(`<packet><id>c1</id><srcIP>10.0.0.1</srcIP><srcPort>4000</srcPort></packet>`))))
+	must(syn.Add(xcql.NewFragment(2, 2, ts("2003-06-01T10:00:10"),
+		el(`<packet><id>c2</id><srcIP>10.0.0.2</srcIP><srcPort>4001</srcPort></packet>`))))
+	must(syn.Add(xcql.NewFragment(3, 2, ts("2003-06-01T10:00:20"),
+		el(`<packet><id>c3</id><srcIP>10.0.0.3</srcIP><srcPort>4002</srcPort></packet>`))))
+	// only c1 is acknowledged in time
+	must(ack.Add(xcql.NewFragment(101, 2, ts("2003-06-01T10:00:30"),
+		el(`<packet><id>c1</id><destIP>10.0.0.1</destIP><destPort>4000</destPort></packet>`))))
+
+	q, err := engine.Compile(query, xcql.QaCPlus)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// at 10:00:50 nothing has timed out yet
+	for _, atStr := range []string{"2003-06-01T10:00:50", "2003-06-01T10:02:00"} {
+		res, err := q.Eval(ts(atStr))
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("at %s — %d unacknowledged connection(s)\n", atStr, len(res))
+		if len(res) > 0 {
+			fmt.Println(xcql.FormatSequence(res))
+		}
+	}
+}

@@ -1,0 +1,146 @@
+// Coincidence queries across multiple streams (§2, example 3): vehicle
+// sensors, road sensors and traffic lights each broadcast their own
+// stream; a monitoring client joins them on time to switch a light green
+// when an ambulance approaches.
+//
+//	go run ./examples/traffic
+package main
+
+import (
+	"fmt"
+	"log"
+	"math"
+	"time"
+
+	"xcql"
+)
+
+// Each stream has events under a static root. Locations are "x,y" pairs;
+// the distance() helper is registered as a user function, as the paper
+// assumes.
+const vehicleStructure = `<stream:structure>
+<tag type="snapshot" id="1" name="vehicles">
+  <tag type="event" id="2" name="event">
+    <tag type="snapshot" id="3" name="vehicleID"/>
+    <tag type="snapshot" id="4" name="type"/>
+    <tag type="snapshot" id="5" name="location"/>
+  </tag>
+</tag>
+</stream:structure>`
+
+const roadStructure = `<stream:structure>
+<tag type="snapshot" id="1" name="road_sensors">
+  <tag type="event" id="2" name="event">
+    <tag type="snapshot" id="3" name="sensorID"/>
+    <tag type="snapshot" id="4" name="location"/>
+    <tag type="snapshot" id="5" name="speed"/>
+  </tag>
+</tag>
+</stream:structure>`
+
+const lightStructure = `<stream:structure>
+<tag type="snapshot" id="1" name="traffic_lights">
+  <tag type="event" id="2" name="event">
+    <tag type="snapshot" id="3" name="id"/>
+    <tag type="snapshot" id="4" name="location"/>
+    <tag type="snapshot" id="5" name="status"/>
+  </tag>
+</tag>
+</stream:structure>`
+
+// The paper's query: when an ambulance is within 0.1 of a road sensor and
+// 10 of a traffic light, schedule the light to switch, the delay derived
+// from distance and measured road speed. The road-sensor and light events
+// are windowed to the ambulance event's own lifespan — a coincidence join.
+const query = `
+for $v in stream("vehicle")//event
+    $r in stream("road_sensor")//event?[vtFrom($v)-PT30S,vtTo($v)+PT30S]
+    $t in stream("traffic_light")//event?[vtFrom($v)-PT30S,vtTo($v)+PT30S]
+where distance($v/location, $r/location) < 0.1
+  and distance($v/location, $t/location) < 10
+  and $v/type = "ambulance"
+return
+  <set_traffic_light ID="{$t/id}">
+    <status>green</status>
+    <time>{ vtFrom($t) + (distance($v/location, $t/location) div $r/speed) }</time>
+  </set_traffic_light>`
+
+func main() {
+	engine := xcql.NewEngine()
+	vehicles := engine.AddEmptyStream("vehicle", xcql.MustParseTagStructure(vehicleStructure))
+	roads := engine.AddEmptyStream("road_sensor", xcql.MustParseTagStructure(roadStructure))
+	lights := engine.AddEmptyStream("traffic_light", xcql.MustParseTagStructure(lightStructure))
+
+	engine.RegisterFunc("distance", func(_ *xcql.EvalContext, args []xcql.Sequence) (xcql.Sequence, error) {
+		if len(args) != 2 {
+			return nil, fmt.Errorf("distance wants 2 arguments")
+		}
+		x1, y1, err := parseLoc(xcql.StringValue(args[0][0]))
+		if err != nil {
+			return nil, err
+		}
+		x2, y2, err := parseLoc(xcql.StringValue(args[1][0]))
+		if err != nil {
+			return nil, err
+		}
+		return xcql.Sequence{math.Hypot(x1-x2, y1-y2)}, nil
+	})
+
+	ts := func(s string) time.Time {
+		t, err := time.Parse("2006-01-02T15:04:05", s)
+		if err != nil {
+			log.Fatal(err)
+		}
+		return t.UTC()
+	}
+	el := func(src string) *xcql.Node { return xcql.MustParseDocument(src).Root() }
+
+	// roots
+	must(vehicles.Add(xcql.NewFragment(0, 1, ts("2003-06-01T00:00:00"),
+		el(`<vehicles><hole id="1" tsid="2"/><hole id="2" tsid="2"/></vehicles>`))))
+	must(roads.Add(xcql.NewFragment(0, 1, ts("2003-06-01T00:00:00"),
+		el(`<road_sensors><hole id="101" tsid="2"/><hole id="102" tsid="2"/></road_sensors>`))))
+	must(lights.Add(xcql.NewFragment(0, 1, ts("2003-06-01T00:00:00"),
+		el(`<traffic_lights><hole id="201" tsid="2"/></traffic_lights>`))))
+
+	// 08:00:00 — an ambulance passes sensor S7 near light L1
+	must(vehicles.Add(xcql.NewFragment(1, 2, ts("2003-06-01T08:00:00"),
+		el(`<event><vehicleID>AMB-42</vehicleID><type>ambulance</type><location>5.02,3.00</location></event>`))))
+	// a delivery van at the same place slightly later (must not trigger)
+	must(vehicles.Add(xcql.NewFragment(2, 2, ts("2003-06-01T08:03:00"),
+		el(`<event><vehicleID>VAN-9</vehicleID><type>van</type><location>5.02,3.00</location></event>`))))
+	// road sensor readings
+	must(roads.Add(xcql.NewFragment(101, 2, ts("2003-06-01T08:00:05"),
+		el(`<event><sensorID>S7</sensorID><location>5.00,3.00</location><speed>0.9</speed></event>`))))
+	must(roads.Add(xcql.NewFragment(102, 2, ts("2003-06-01T07:00:00"),
+		el(`<event><sensorID>S7</sensorID><location>5.00,3.00</location><speed>0.5</speed></event>`)))) // stale: outside window
+	// the light reported its status just before
+	must(lights.Add(xcql.NewFragment(201, 2, ts("2003-06-01T08:00:10"),
+		el(`<event><id>L1</id><location>9.00,3.00</location><status>red</status></event>`))))
+
+	at := ts("2003-06-01T08:05:00")
+	q, err := engine.Compile(query, xcql.QaCPlus)
+	if err != nil {
+		log.Fatal(err)
+	}
+	res, err := q.Eval(at)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("traffic-light commands issued:")
+	fmt.Println(xcql.FormatSequence(res))
+	if len(res) != 1 {
+		log.Fatalf("expected exactly one command, got %d", len(res))
+	}
+}
+
+func parseLoc(s string) (x, y float64, err error) {
+	_, err = fmt.Sscanf(s, "%f,%f", &x, &y)
+	return x, y, err
+}
+
+func must(err error) {
+	if err != nil {
+		log.Fatal(err)
+	}
+}

@@ -1,0 +1,3 @@
+module xcql
+
+go 1.24

@@ -1,0 +1,125 @@
+package fragment
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"xcql/internal/tagstruct"
+	"xcql/internal/xmldom"
+)
+
+// Compact wire codec: §4.1 notes that the Tag Structure "gives us the
+// convenience of abbreviating the tag names with IDs for compressing
+// stream data". This codec realizes that: element tags inside a filler
+// payload are replaced by "t<tsid>" for tags known to the structure,
+// resolvable unambiguously because the Tag Structure fixes each tag's
+// position. Holes and unknown tags pass through unchanged.
+//
+// The codec is optional and purely a wire concern — stores always hold
+// expanded payloads.
+
+// CompactCodec rewrites fragments between expanded and abbreviated forms.
+type CompactCodec struct {
+	structure *tagstruct.Structure
+}
+
+// NewCompactCodec builds a codec over the structure.
+func NewCompactCodec(s *tagstruct.Structure) *CompactCodec {
+	return &CompactCodec{structure: s}
+}
+
+// Encode returns a copy of f whose payload tags are abbreviated.
+func (c *CompactCodec) Encode(f *Fragment) *Fragment {
+	tag := c.structure.ByID(f.TSID)
+	payload := c.abbrev(f.Payload, tag)
+	return New(f.FillerID, f.TSID, f.ValidTime, payload)
+}
+
+func (c *CompactCodec) abbrev(el *xmldom.Node, tag *tagstruct.Tag) *xmldom.Node {
+	name := el.Name
+	if tag != nil && tag.Name == el.Name {
+		name = "t" + strconv.Itoa(tag.ID)
+	}
+	out := xmldom.NewElement(name)
+	out.Attrs = append(out.Attrs, el.Attrs...)
+	for _, ch := range el.Children {
+		if ch.Type != xmldom.ElementNode {
+			out.AppendChild(&xmldom.Node{Type: ch.Type, Name: ch.Name, Data: ch.Data})
+			continue
+		}
+		if IsHole(ch) {
+			out.AppendChild(ch.Clone())
+			continue
+		}
+		var childTag *tagstruct.Tag
+		if tag != nil {
+			childTag = tag.Child(ch.Name)
+		}
+		out.AppendChild(c.abbrev(ch, childTag))
+	}
+	return out
+}
+
+// Decode expands an abbreviated fragment back to full tag names. It is
+// the inverse of Encode; a fragment that was never abbreviated decodes to
+// itself. Unknown t<id> abbreviations are an error (the client's
+// structure is stale).
+func (c *CompactCodec) Decode(f *Fragment) (*Fragment, error) {
+	payload, err := c.expand(f.Payload)
+	if err != nil {
+		return nil, err
+	}
+	return New(f.FillerID, f.TSID, f.ValidTime, payload), nil
+}
+
+func (c *CompactCodec) expand(el *xmldom.Node) (*xmldom.Node, error) {
+	name := el.Name
+	if id, ok := abbrevID(name); ok {
+		tag := c.structure.ByID(id)
+		if tag == nil {
+			return nil, fmt.Errorf("fragment: unknown tag abbreviation %q", name)
+		}
+		name = tag.Name
+	}
+	out := xmldom.NewElement(name)
+	out.Attrs = append(out.Attrs, el.Attrs...)
+	for _, ch := range el.Children {
+		if ch.Type != xmldom.ElementNode {
+			out.AppendChild(&xmldom.Node{Type: ch.Type, Name: ch.Name, Data: ch.Data})
+			continue
+		}
+		ex, err := c.expand(ch)
+		if err != nil {
+			return nil, err
+		}
+		out.AppendChild(ex)
+	}
+	return out, nil
+}
+
+// abbrevID recognizes "t<digits>" abbreviations.
+func abbrevID(name string) (int, bool) {
+	if len(name) < 2 || name[0] != 't' {
+		return 0, false
+	}
+	rest := name[1:]
+	if strings.IndexFunc(rest, func(r rune) bool { return r < '0' || r > '9' }) >= 0 {
+		return 0, false
+	}
+	id, err := strconv.Atoi(rest)
+	if err != nil {
+		return 0, false
+	}
+	return id, true
+}
+
+// CompactSavings reports the wire bytes of the fragments encoded plainly
+// and abbreviated, for sizing decisions.
+func CompactSavings(c *CompactCodec, frags []*Fragment) (plain, compact int) {
+	for _, f := range frags {
+		plain += len(f.String()) + 1
+		compact += len(c.Encode(f).String()) + 1
+	}
+	return plain, compact
+}

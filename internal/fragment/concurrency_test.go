@@ -1,0 +1,74 @@
+package fragment
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+
+	"xcql/internal/xmldom"
+)
+
+// TestStoreConcurrentReadersAndWriter exercises the store under the
+// continuous-query pattern: one goroutine keeps ingesting fragments while
+// several readers evaluate GetFillers/ByTSID/Temporalize-style accesses.
+// Run with -race to validate the locking.
+func TestStoreConcurrentReadersAndWriter(t *testing.T) {
+	s := creditStruct(t)
+	for _, scan := range []bool{false, true} {
+		name := "indexed"
+		if scan {
+			name = "scan"
+		}
+		t.Run(name, func(t *testing.T) {
+			var st *Store
+			if scan {
+				st = NewScanStore(s)
+			} else {
+				st = NewStore(s)
+			}
+			root := xmldom.MustParseString(`<creditAccounts><hole id="1" tsid="2"/></creditAccounts>`).Root()
+			if err := st.Add(New(RootFillerID, 1, ts("2003-01-01T00:00:00"), root)); err != nil {
+				t.Fatal(err)
+			}
+			acct := xmldom.MustParseString(`<account id="1"><customer>A</customer><hole id="2" tsid="4"/></account>`).Root()
+			if err := st.Add(New(1, 2, ts("2003-01-01T00:00:00"), acct)); err != nil {
+				t.Fatal(err)
+			}
+
+			const writes = 300
+			var wg sync.WaitGroup
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				base := ts("2003-02-01T00:00:00")
+				for i := 0; i < writes; i++ {
+					limit := xmldom.TextElem("creditLimit", fmt.Sprintf("%d", i))
+					if err := st.Add(New(2, 4, base.Add(time.Duration(i)*time.Second), limit)); err != nil {
+						t.Error(err)
+						return
+					}
+				}
+			}()
+			at := ts("2004-01-01T00:00:00")
+			for r := 0; r < 4; r++ {
+				wg.Add(1)
+				go func() {
+					defer wg.Done()
+					for i := 0; i < 200; i++ {
+						_ = st.GetFillers(2, at)
+						_ = st.ByTSID(4)
+						_ = st.LatestVersion(2, at)
+						_ = st.Len()
+						_ = st.GetFillersList([]int{1, 2}, at)
+						_ = st.GetFillersByTSID(4, at)
+					}
+				}()
+			}
+			wg.Wait()
+			if got := len(st.Versions(2)); got != writes {
+				t.Fatalf("versions = %d, want %d", got, writes)
+			}
+		})
+	}
+}

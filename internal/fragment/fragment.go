@@ -1,0 +1,191 @@
+// Package fragment implements the Hole-Filler model of §4: the unit of
+// transfer in the stream is an XML fragment (a "filler") identified by a
+// unique filler id, annotated with the tag-structure id (tsid) of its top
+// element and the validTime of its generation. A filler's payload may
+// contain <hole id="…" tsid="…"/> placeholders; a hole is filled by every
+// filler carrying the same id, and multiple fillers with one id are the
+// successive versions of that element.
+//
+// The package provides the wire representation, the fragmenter that cuts a
+// document into fillers along the temporal/event tags of a Tag Structure,
+// and the client-side Store whose GetFillers method realizes the paper's
+// get_fillers function (versions annotated with their deduced [vtFrom,
+// vtTo] lifespans).
+package fragment
+
+import (
+	"fmt"
+	"strconv"
+	"time"
+
+	"xcql/internal/xmldom"
+	"xcql/internal/xtime"
+)
+
+// RootFillerID is the reserved filler id of the document-root fragment;
+// the paper's translations all start from get_fillers(0).
+const RootFillerID = 0
+
+// Wire element and attribute names.
+const (
+	FillerTag     = "filler"
+	HoleTag       = "hole"
+	AttrID        = "id"
+	AttrTSID      = "tsid"
+	AttrValidTime = "validTime"
+)
+
+// Fragment is one filler as it travels on the stream.
+type Fragment struct {
+	FillerID  int
+	TSID      int
+	ValidTime time.Time
+	// Payload is the single element carried by the filler. The Fragment
+	// owns it; callers must Clone before mutating.
+	Payload *xmldom.Node
+}
+
+// New builds a fragment. The payload's parent link is cleared.
+func New(fillerID, tsid int, validTime time.Time, payload *xmldom.Node) *Fragment {
+	if payload != nil {
+		payload.Parent = nil
+	}
+	return &Fragment{FillerID: fillerID, TSID: tsid, ValidTime: validTime, Payload: payload}
+}
+
+// ToXML renders the wire form
+// <filler id="…" tsid="…" validTime="…">payload</filler>.
+func (f *Fragment) ToXML() *xmldom.Node {
+	el := xmldom.NewElement(FillerTag)
+	el.SetAttr(AttrID, strconv.Itoa(f.FillerID))
+	el.SetAttr(AttrTSID, strconv.Itoa(f.TSID))
+	el.SetAttr(AttrValidTime, f.ValidTime.UTC().Format(xtime.Layout))
+	if f.Payload != nil {
+		el.AppendChild(f.Payload.Clone())
+	}
+	return el
+}
+
+// String returns the compact wire form.
+func (f *Fragment) String() string { return f.ToXML().String() }
+
+// FromXML parses a <filler> element into a Fragment. The payload is
+// cloned out of the element.
+func FromXML(el *xmldom.Node) (*Fragment, error) {
+	if el == nil || el.Name != FillerTag {
+		return nil, fmt.Errorf("fragment: expected <%s>, got %v", FillerTag, name(el))
+	}
+	idStr, ok := el.Attr(AttrID)
+	if !ok {
+		return nil, fmt.Errorf("fragment: filler missing id")
+	}
+	id, err := strconv.Atoi(idStr)
+	if err != nil || id < 0 {
+		return nil, fmt.Errorf("fragment: bad filler id %q", idStr)
+	}
+	tsidStr, ok := el.Attr(AttrTSID)
+	if !ok {
+		return nil, fmt.Errorf("fragment: filler %d missing tsid", id)
+	}
+	tsid, err := strconv.Atoi(tsidStr)
+	if err != nil || tsid <= 0 {
+		return nil, fmt.Errorf("fragment: bad tsid %q on filler %d", tsidStr, id)
+	}
+	vtStr, ok := el.Attr(AttrValidTime)
+	if !ok {
+		return nil, fmt.Errorf("fragment: filler %d missing validTime", id)
+	}
+	vt, err := xtime.Parse(vtStr)
+	if err != nil || !vt.IsAbsolute() {
+		return nil, fmt.Errorf("fragment: filler %d has bad validTime %q", id, vtStr)
+	}
+	kids := el.ElementChildren()
+	if len(kids) != 1 {
+		return nil, fmt.Errorf("fragment: filler %d must carry exactly one element, has %d", id, len(kids))
+	}
+	return New(id, tsid, vt.Time(), kids[0].Clone()), nil
+}
+
+// Parse parses the compact wire string form.
+func Parse(src string) (*Fragment, error) {
+	doc, err := xmldom.ParseString(src)
+	if err != nil {
+		return nil, err
+	}
+	return FromXML(doc.Root())
+}
+
+func name(el *xmldom.Node) string {
+	if el == nil {
+		return "nil"
+	}
+	return "<" + el.Name + ">"
+}
+
+// NewHole builds the <hole id="…" tsid="…"/> placeholder element.
+func NewHole(fillerID, tsid int) *xmldom.Node {
+	h := xmldom.NewElement(HoleTag)
+	h.SetAttr(AttrID, strconv.Itoa(fillerID))
+	h.SetAttr(AttrTSID, strconv.Itoa(tsid))
+	return h
+}
+
+// IsHole reports whether el is a hole placeholder.
+func IsHole(el *xmldom.Node) bool {
+	return el != nil && el.Type == xmldom.ElementNode && el.Name == HoleTag
+}
+
+// HoleID extracts the filler id referenced by a hole element.
+func HoleID(el *xmldom.Node) (int, error) {
+	if !IsHole(el) {
+		return 0, fmt.Errorf("fragment: %v is not a hole", name(el))
+	}
+	idStr, ok := el.Attr(AttrID)
+	if !ok {
+		return 0, fmt.Errorf("fragment: hole missing id")
+	}
+	id, err := strconv.Atoi(idStr)
+	if err != nil {
+		return 0, fmt.Errorf("fragment: bad hole id %q", idStr)
+	}
+	return id, nil
+}
+
+// HoleTSID extracts the tsid on a hole, or 0 when absent.
+func HoleTSID(el *xmldom.Node) int {
+	v, ok := el.Attr(AttrTSID)
+	if !ok {
+		return 0
+	}
+	n, err := strconv.Atoi(v)
+	if err != nil {
+		return 0
+	}
+	return n
+}
+
+// Holes returns the hole elements that are direct children of el.
+func Holes(el *xmldom.Node) []*xmldom.Node {
+	var out []*xmldom.Node
+	for _, c := range el.ElementChildren() {
+		if IsHole(c) {
+			out = append(out, c)
+		}
+	}
+	return out
+}
+
+// HoleIDs returns the ids of direct-child holes of el; when tsid > 0 only
+// holes with that tsid are returned.
+func HoleIDs(el *xmldom.Node, tsid int) []int {
+	var out []int
+	for _, h := range Holes(el) {
+		if tsid > 0 && HoleTSID(h) != tsid {
+			continue
+		}
+		if id, err := HoleID(h); err == nil {
+			out = append(out, id)
+		}
+	}
+	return out
+}

@@ -1,0 +1,221 @@
+package fragment
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"xcql/internal/tagstruct"
+	"xcql/internal/xmldom"
+	"xcql/internal/xtime"
+)
+
+// Fragmenter cuts XML documents into filler fragments along the
+// temporal/event tags of a Tag Structure (§4: "XML data is fragmented only
+// on tags that are defined as temporal and event nodes"). It also mints
+// filler ids for updates so a server can keep streaming coherent deltas.
+type Fragmenter struct {
+	structure *tagstruct.Structure
+	nextID    int
+	// Clock supplies validTime for elements that do not carry their own
+	// vtFrom attribute. Defaults to a fixed epoch so output is
+	// deterministic; servers set it to time.Now.
+	Clock func() time.Time
+	// CoalesceVersions treats consecutive same-named siblings of a
+	// temporal tag that carry vtFrom attributes as successive versions of
+	// one filler (the shape produced by materializing a temporal view),
+	// instead of distinct entities.
+	CoalesceVersions bool
+}
+
+// NewFragmenter returns a fragmenter minting filler ids from 1
+// (RootFillerID is reserved for the document root).
+func NewFragmenter(s *tagstruct.Structure) *Fragmenter {
+	epoch := time.Date(2003, time.January, 1, 0, 0, 0, 0, time.UTC)
+	return &Fragmenter{
+		structure: s,
+		nextID:    RootFillerID + 1,
+		Clock:     func() time.Time { return epoch },
+	}
+}
+
+// NextID mints a fresh filler id.
+func (fr *Fragmenter) NextID() int {
+	id := fr.nextID
+	fr.nextID++
+	return id
+}
+
+// Fragment cuts doc (a document or its root element) into fragments. The
+// first fragment returned is always the root filler with id RootFillerID.
+// Elements whose tag is temporal or event become separate fillers, replaced
+// in their parent by holes; vtFrom/vtTo attributes on fragmented elements
+// provide their validTime and are stripped from payloads (lifespans are
+// re-derived from version order on the client).
+func (fr *Fragmenter) Fragment(doc *xmldom.Node) ([]*Fragment, error) {
+	root := doc.Root()
+	if root == nil {
+		return nil, fmt.Errorf("fragment: document has no root element")
+	}
+	if root.Name != fr.structure.Root.Name {
+		return nil, fmt.Errorf("fragment: document root <%s> does not match tag structure root <%s>",
+			root.Name, fr.structure.Root.Name)
+	}
+	var out []*Fragment
+	payload, err := fr.cut(root, fr.structure.Root, &out)
+	if err != nil {
+		return nil, err
+	}
+	rootFrag := New(RootFillerID, fr.structure.Root.ID, fr.Clock(), payload)
+	return append([]*Fragment{rootFrag}, out...), nil
+}
+
+// cut copies el, replacing each fragmented child subtree with a hole and
+// appending the child's fragments to out.
+func (fr *Fragmenter) cut(el *xmldom.Node, tag *tagstruct.Tag, out *[]*Fragment) (*xmldom.Node, error) {
+	copyEl := xmldom.NewElement(el.Name)
+	for _, a := range el.Attrs {
+		if a.Name == "vtFrom" || a.Name == "vtTo" {
+			continue // lifespans are re-derived from validTime on arrival
+		}
+		copyEl.SetAttr(a.Name, a.Value)
+	}
+	// When coalescing versions, consecutive same-named temporal siblings
+	// share one filler id; track the id per name within this parent.
+	versionID := map[string]int{}
+	for _, c := range el.Children {
+		if c.Type != xmldom.ElementNode {
+			if keepNonElement(el, c) {
+				copyEl.AppendChild(&xmldom.Node{Type: c.Type, Name: c.Name, Data: c.Data})
+			}
+			continue
+		}
+		childTag := tag.Child(c.Name)
+		if childTag == nil {
+			return nil, fmt.Errorf("fragment: element <%s> not allowed under <%s> by the tag structure", c.Name, tag.Name)
+		}
+		if !childTag.IsFragmented() {
+			inline, err := fr.cut(c, childTag, out)
+			if err != nil {
+				return nil, err
+			}
+			copyEl.AppendChild(inline)
+			continue
+		}
+		var id int
+		shareVersion := fr.CoalesceVersions && childTag.Type == tagstruct.Temporal && hasVT(c)
+		if shareVersion {
+			if prev, ok := versionID[c.Name]; ok {
+				id = prev // another version of the same element: no new hole
+			} else {
+				id = fr.NextID()
+				versionID[c.Name] = id
+				copyEl.AppendChild(NewHole(id, childTag.ID))
+			}
+		} else {
+			id = fr.NextID()
+			copyEl.AppendChild(NewHole(id, childTag.ID))
+		}
+		payload, err := fr.cut(c, childTag, out)
+		if err != nil {
+			return nil, err
+		}
+		*out = append(*out, New(id, childTag.ID, fr.validTimeFor(c), payload))
+	}
+	return copyEl, nil
+}
+
+// validTimeFor prefers the element's own vtFrom annotation, falling back
+// to the fragmenter clock.
+func (fr *Fragmenter) validTimeFor(el *xmldom.Node) time.Time {
+	if v, ok := el.Attr("vtFrom"); ok {
+		if dt, err := xtime.Parse(v); err == nil && dt.IsAbsolute() {
+			return dt.Time()
+		}
+	}
+	return fr.Clock()
+}
+
+func hasVT(el *xmldom.Node) bool {
+	_, ok := el.Attr("vtFrom")
+	return ok
+}
+
+// Update builds the fragment that replaces filler fillerID with a new
+// payload at time t — the paper's unit of update. Holes inside payload are
+// preserved; nested fragmented elements are cut into additional fragments
+// (returned after the update itself).
+func (fr *Fragmenter) Update(fillerID int, tag *tagstruct.Tag, payload *xmldom.Node, t time.Time) ([]*Fragment, error) {
+	if tag == nil {
+		return nil, fmt.Errorf("fragment: Update needs a tag")
+	}
+	var extra []*Fragment
+	cutPayload, err := fr.cutPreservingHoles(payload, tag, &extra)
+	if err != nil {
+		return nil, err
+	}
+	return append([]*Fragment{New(fillerID, tag.ID, t, cutPayload)}, extra...), nil
+}
+
+// cutPreservingHoles is cut but passes existing <hole> children through
+// untouched so an update can keep referring to its existing children.
+func (fr *Fragmenter) cutPreservingHoles(el *xmldom.Node, tag *tagstruct.Tag, out *[]*Fragment) (*xmldom.Node, error) {
+	copyEl := xmldom.NewElement(el.Name)
+	for _, a := range el.Attrs {
+		if a.Name == "vtFrom" || a.Name == "vtTo" {
+			continue
+		}
+		copyEl.SetAttr(a.Name, a.Value)
+	}
+	for _, c := range el.Children {
+		if c.Type != xmldom.ElementNode {
+			if keepNonElement(el, c) {
+				copyEl.AppendChild(&xmldom.Node{Type: c.Type, Name: c.Name, Data: c.Data})
+			}
+			continue
+		}
+		if IsHole(c) {
+			copyEl.AppendChild(c.Clone())
+			continue
+		}
+		childTag := tag.Child(c.Name)
+		if childTag == nil {
+			return nil, fmt.Errorf("fragment: element <%s> not allowed under <%s> by the tag structure", c.Name, tag.Name)
+		}
+		if !childTag.IsFragmented() {
+			inline, err := fr.cutPreservingHoles(c, childTag, out)
+			if err != nil {
+				return nil, err
+			}
+			copyEl.AppendChild(inline)
+			continue
+		}
+		id := fr.NextID()
+		copyEl.AppendChild(NewHole(id, childTag.ID))
+		payload, err := fr.cutPreservingHoles(c, childTag, out)
+		if err != nil {
+			return nil, err
+		}
+		*out = append(*out, New(id, childTag.ID, fr.validTimeFor(c), payload))
+	}
+	return copyEl, nil
+}
+
+// keepNonElement decides whether a non-element child survives
+// fragmentation: whitespace-only text between element children is layout,
+// not data, and is dropped so payloads (and the reconstructed view) stay
+// clean; everything else is kept verbatim.
+func keepNonElement(parent, c *xmldom.Node) bool {
+	if c.Type != xmldom.TextNode {
+		return true
+	}
+	if strings.TrimSpace(c.Data) != "" {
+		return true
+	}
+	for _, sib := range parent.Children {
+		if sib.Type == xmldom.ElementNode {
+			return false
+		}
+	}
+	return true
+}

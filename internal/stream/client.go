@@ -1,0 +1,97 @@
+package stream
+
+import (
+	"sync"
+
+	"xcql/internal/fragment"
+	"xcql/internal/tagstruct"
+)
+
+// Client is a stream receiver: it feeds arriving fragments into a local
+// fragment store and notifies continuous queries. Clients are the
+// sophisticated side of the paper's architecture — all query processing
+// happens here.
+type Client struct {
+	name  string
+	store *fragment.Store
+
+	mu        sync.Mutex
+	listeners []func(*fragment.Fragment)
+	errs      []error
+	done      chan struct{}
+	closeOnce sync.Once
+}
+
+// NewClient builds a client for a stream with the given tag structure
+// (obtained from the registration handshake).
+func NewClient(name string, structure *tagstruct.Structure) *Client {
+	return &Client{
+		name:  name,
+		store: fragment.NewStore(structure),
+		done:  make(chan struct{}),
+	}
+}
+
+// Name returns the stream name.
+func (c *Client) Name() string { return c.name }
+
+// Store exposes the client's fragment store for query registration.
+func (c *Client) Store() *fragment.Store { return c.store }
+
+// OnFragment registers a callback invoked after each fragment is applied
+// to the store. Callbacks run on the feeding goroutine and must be quick.
+func (c *Client) OnFragment(fn func(*fragment.Fragment)) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.listeners = append(c.listeners, fn)
+}
+
+// Apply ingests one fragment and fans out notifications. Malformed
+// fragments are recorded (Errs) and skipped — a broadcast client cannot
+// ask for retransmission, so it must tolerate noise.
+func (c *Client) Apply(f *fragment.Fragment) {
+	if err := c.store.Add(f); err != nil {
+		c.mu.Lock()
+		c.errs = append(c.errs, err)
+		c.mu.Unlock()
+		return
+	}
+	c.mu.Lock()
+	listeners := make([]func(*fragment.Fragment), len(c.listeners))
+	copy(listeners, c.listeners)
+	c.mu.Unlock()
+	for _, fn := range listeners {
+		fn(f)
+	}
+}
+
+// Consume drains a subscription until it closes or the client is closed.
+// It is typically run as a goroutine.
+func (c *Client) Consume(sub *Subscription) {
+	for {
+		select {
+		case f, ok := <-sub.C():
+			if !ok {
+				return
+			}
+			c.Apply(f)
+		case <-c.done:
+			sub.Cancel()
+			return
+		}
+	}
+}
+
+// Errs returns ingestion errors collected so far.
+func (c *Client) Errs() []error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	out := make([]error, len(c.errs))
+	copy(out, c.errs)
+	return out
+}
+
+// Close stops Consume loops.
+func (c *Client) Close() {
+	c.closeOnce.Do(func() { close(c.done) })
+}

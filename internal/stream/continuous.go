@@ -1,0 +1,99 @@
+package stream
+
+import (
+	"sync"
+	"time"
+
+	"xcql/internal/fragment"
+	"xcql/internal/xcql"
+	"xcql/internal/xmldom"
+	"xcql/internal/xq"
+)
+
+// Result is one evaluation of a continuous query.
+type Result struct {
+	// At is the evaluation instant (what "now" resolved to).
+	At time.Time
+	// Items is the full result sequence at that instant.
+	Items xq.Sequence
+	// Delta contains the items not seen in any earlier evaluation of this
+	// continuous query (compared by serialized form) — the newly produced
+	// part of the continuous output stream.
+	Delta xq.Sequence
+}
+
+// ContinuousQuery re-evaluates a compiled XCQL query whenever new
+// fragments arrive, emitting results to a callback. This is the
+// "continuous output stream" of the paper's model: the query stands, the
+// data moves.
+type ContinuousQuery struct {
+	query    *xcql.Query
+	onResult func(Result)
+	// Clock supplies the evaluation instant; defaults to time.Now. Tests
+	// and replays pin it to the fragment timeline.
+	Clock func() time.Time
+
+	mu   sync.Mutex
+	seen map[string]bool
+}
+
+// NewContinuousQuery wraps a compiled query. onResult is invoked after
+// every (re-)evaluation, on the goroutine that delivered the triggering
+// fragment.
+func NewContinuousQuery(q *xcql.Query, onResult func(Result)) *ContinuousQuery {
+	return &ContinuousQuery{
+		query:    q,
+		onResult: onResult,
+		Clock:    time.Now,
+		seen:     make(map[string]bool),
+	}
+}
+
+// Attach subscribes the query to a client: every applied fragment
+// triggers a re-evaluation. It returns an unsubscribe-free handle (the
+// paper's clients never unregister individual queries from servers; a
+// client-local query just stops being attached when the client closes).
+func (cq *ContinuousQuery) Attach(c *Client) {
+	c.OnFragment(func(*fragment.Fragment) {
+		_ = cq.Evaluate()
+	})
+}
+
+// Evaluate runs the query once at the current clock instant, updates the
+// delta state, and emits the result.
+func (cq *ContinuousQuery) Evaluate() error {
+	at := cq.Clock()
+	seq, err := cq.query.Eval(at)
+	if err != nil {
+		return err
+	}
+	res := Result{At: at, Items: seq}
+	cq.mu.Lock()
+	for _, it := range seq {
+		key := itemKey(it)
+		if !cq.seen[key] {
+			cq.seen[key] = true
+			res.Delta = append(res.Delta, it)
+		}
+	}
+	cq.mu.Unlock()
+	if cq.onResult != nil {
+		cq.onResult(res)
+	}
+	return nil
+}
+
+// ResetDelta forgets previously seen results, so the next evaluation
+// reports everything as new.
+func (cq *ContinuousQuery) ResetDelta() {
+	cq.mu.Lock()
+	defer cq.mu.Unlock()
+	cq.seen = make(map[string]bool)
+}
+
+func itemKey(it xq.Item) string {
+	if n, ok := it.(*xmldom.Node); ok {
+		return n.String()
+	}
+	return xq.StringValue(it)
+}

@@ -1,0 +1,155 @@
+// Package stream implements the push-based dissemination model of §1: a
+// small number of servers multicast fragment streams to many receive-only
+// clients. A client registers once (a pull-based handshake that delivers
+// the stream's Tag Structure) and then consumes fillers without ever
+// acknowledging them; the server never hears back.
+//
+// Two transports are provided: an in-process broker (used by tests,
+// benchmarks and the continuous-query runtime) and TCP with a
+// length-delimited XML wire format (cmd/streamdemo).
+package stream
+
+import (
+	"sync"
+
+	"xcql/internal/fragment"
+	"xcql/internal/tagstruct"
+)
+
+// Server is a broadcast source for one named fragment stream. Fragments
+// published while a subscriber's buffer is full are dropped for that
+// subscriber — the radio-transmitter model: a slow client misses packets
+// and cannot ask for retransmission.
+type Server struct {
+	name      string
+	structure *tagstruct.Structure
+
+	mu      sync.Mutex
+	subs    map[*Subscription]struct{}
+	history []*fragment.Fragment // retained for late joiners (catch-up)
+	dropped int64
+	closed  bool
+}
+
+// NewServer creates a server for the named stream.
+func NewServer(name string, structure *tagstruct.Structure) *Server {
+	return &Server{
+		name:      name,
+		structure: structure,
+		subs:      make(map[*Subscription]struct{}),
+	}
+}
+
+// Name returns the stream name clients query with stream(name).
+func (s *Server) Name() string { return s.name }
+
+// Structure returns the stream's tag structure, delivered to clients at
+// registration.
+func (s *Server) Structure() *tagstruct.Structure { return s.structure }
+
+// Subscription is one registered client's feed.
+type Subscription struct {
+	server *Server
+	ch     chan *fragment.Fragment
+	once   sync.Once
+}
+
+// C is the fragment feed. It is closed when the server shuts down or the
+// subscription is cancelled.
+func (sub *Subscription) C() <-chan *fragment.Fragment { return sub.ch }
+
+// Cancel unregisters the subscription. Safe to call more than once.
+func (sub *Subscription) Cancel() {
+	sub.once.Do(func() {
+		s := sub.server
+		s.mu.Lock()
+		if _, ok := s.subs[sub]; ok {
+			delete(s.subs, sub)
+			close(sub.ch)
+		}
+		s.mu.Unlock()
+	})
+}
+
+// Subscribe registers a client with the given buffer capacity and replays
+// the retained history (catchUp=true) so a late joiner sees the initial
+// document. The paper's clients register exactly once.
+func (s *Server) Subscribe(buffer int, catchUp bool) *Subscription {
+	if buffer < 1 {
+		buffer = 1
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	var replay []*fragment.Fragment
+	if catchUp {
+		replay = append(replay, s.history...)
+	}
+	sub := &Subscription{server: s, ch: make(chan *fragment.Fragment, buffer+len(replay))}
+	for _, f := range replay {
+		sub.ch <- f // fits: capacity covers history
+	}
+	if s.closed {
+		close(sub.ch)
+		return sub
+	}
+	s.subs[sub] = struct{}{}
+	return sub
+}
+
+// Publish multicasts one fragment to every subscriber and retains it for
+// late joiners. Subscribers with full buffers miss it (counted in
+// Dropped).
+func (s *Server) Publish(f *fragment.Fragment) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return
+	}
+	s.history = append(s.history, f)
+	for sub := range s.subs {
+		select {
+		case sub.ch <- f:
+		default:
+			s.dropped++
+		}
+	}
+}
+
+// PublishAll publishes fragments in order.
+func (s *Server) PublishAll(fs []*fragment.Fragment) {
+	for _, f := range fs {
+		s.Publish(f)
+	}
+}
+
+// Dropped reports how many fragment deliveries were lost to full
+// subscriber buffers.
+func (s *Server) Dropped() int64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.dropped
+}
+
+// History returns a copy of the retained fragment log.
+func (s *Server) History() []*fragment.Fragment {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]*fragment.Fragment, len(s.history))
+	copy(out, s.history)
+	return out
+}
+
+// Close shuts the stream down: all subscriptions are cancelled and future
+// publishes are ignored.
+func (s *Server) Close() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return
+	}
+	s.closed = true
+	for sub := range s.subs {
+		delete(s.subs, sub)
+		close(sub.ch)
+	}
+}

@@ -1,0 +1,133 @@
+package stream
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+
+	"xcql/internal/fragment"
+	"xcql/internal/tagstruct"
+	"xcql/internal/xmldom"
+)
+
+// TCP wire format: upon connection the server writes one header element
+//
+//	<stream:header name="…"> <stream:structure>…</stream:structure> </stream:header>
+//
+// followed by an unbounded sequence of <filler> elements. The client
+// never writes; registration is the connection itself (the paper's single
+// pull-based registration).
+const headerTag = "stream:header"
+
+// ServeTCP accepts registrations on ln and feeds each connection from its
+// own subscription until the peer disconnects or the server closes. It
+// returns when ln fails (e.g. is closed).
+func ServeTCP(s *Server, ln net.Listener) error {
+	var wg sync.WaitGroup
+	defer wg.Wait()
+	for {
+		conn, err := ln.Accept()
+		if err != nil {
+			return err
+		}
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			defer conn.Close()
+			_ = serveConn(s, conn)
+		}()
+	}
+}
+
+func serveConn(s *Server, conn net.Conn) error {
+	w := bufio.NewWriterSize(conn, 64<<10)
+	header := xmldom.NewElement(headerTag)
+	header.SetAttr("name", s.Name())
+	header.AppendChild(s.Structure().ToXML())
+	if err := header.Encode(w); err != nil {
+		return err
+	}
+	if _, err := w.WriteString("\n"); err != nil {
+		return err
+	}
+	if err := w.Flush(); err != nil {
+		return err
+	}
+	sub := s.Subscribe(1024, true)
+	defer sub.Cancel()
+	for f := range sub.C() {
+		if err := f.ToXML().Encode(w); err != nil {
+			return err
+		}
+		if _, err := w.WriteString("\n"); err != nil {
+			return err
+		}
+		if err := w.Flush(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// DialTCP registers with a stream server, reads the header, and returns a
+// Client that keeps consuming fragments on a background goroutine until
+// the connection drops or the client is closed.
+func DialTCP(addr string) (*Client, error) {
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	dec := xmldom.NewStreamDecoder(conn)
+	headerEl, err := dec.ReadElement()
+	if err != nil {
+		conn.Close()
+		return nil, fmt.Errorf("stream: reading header: %w", err)
+	}
+	if headerEl.Name != headerTag {
+		conn.Close()
+		return nil, fmt.Errorf("stream: expected <%s>, got <%s>", headerTag, headerEl.Name)
+	}
+	name := headerEl.AttrOr("name", "")
+	structEl := headerEl.FirstChildElement(tagstruct.WireRoot)
+	if structEl == nil {
+		conn.Close()
+		return nil, fmt.Errorf("stream: header carries no tag structure")
+	}
+	structure, err := tagstruct.FromXML(structEl)
+	if err != nil {
+		conn.Close()
+		return nil, err
+	}
+	c := NewClient(name, structure)
+	go func() {
+		defer conn.Close()
+		for {
+			select {
+			case <-c.done:
+				return
+			default:
+			}
+			el, err := dec.ReadElement()
+			if err == io.EOF {
+				return
+			}
+			if err != nil {
+				c.mu.Lock()
+				c.errs = append(c.errs, err)
+				c.mu.Unlock()
+				return
+			}
+			f, err := fragment.FromXML(el)
+			if err != nil {
+				c.mu.Lock()
+				c.errs = append(c.errs, err)
+				c.mu.Unlock()
+				continue
+			}
+			c.Apply(f)
+		}
+	}()
+	return c, nil
+}

@@ -1,0 +1,71 @@
+package tagstruct
+
+import (
+	"xcql/internal/xmldom"
+)
+
+// Infer derives a tag structure from a sample document: every distinct tag
+// *path* becomes a tag, numbered in preorder starting at 1, with children
+// in first-seen order across all occurrences of the path. Elements
+// carrying vtFrom/vtTo attributes are classified temporal, or event when
+// the two coincide on every occurrence; everything else is snapshot.
+//
+// Infer is a convenience for bootstrapping a stream whose schema was not
+// designed up front; production streams should author the structure
+// explicitly. It rejects recursive documents implicitly by construction
+// (a recursive path simply unrolls to the depth present in the sample),
+// matching the paper's stated non-support for recursive XML.
+func Infer(doc *xmldom.Node) (*Structure, error) {
+	rootEl := doc.Root()
+	nextID := 1
+	var build func(name string, occurrences []*xmldom.Node) *Tag
+	build = func(name string, occurrences []*xmldom.Node) *Tag {
+		t := &Tag{Name: name, ID: nextID, Type: classifyAll(occurrences)}
+		nextID++
+		var order []string
+		grouped := map[string][]*xmldom.Node{}
+		for _, occ := range occurrences {
+			for _, c := range occ.ElementChildren() {
+				if _, seen := grouped[c.Name]; !seen {
+					order = append(order, c.Name)
+				}
+				grouped[c.Name] = append(grouped[c.Name], c)
+			}
+		}
+		for _, childName := range order {
+			t.Children = append(t.Children, build(childName, grouped[childName]))
+		}
+		return t
+	}
+	root := build(rootEl.Name, []*xmldom.Node{rootEl})
+	return New(root)
+}
+
+func classify(el *xmldom.Node) TagType {
+	from, hasFrom := el.Attr("vtFrom")
+	to, hasTo := el.Attr("vtTo")
+	switch {
+	case hasFrom && hasTo && from == to:
+		return Event
+	case hasFrom || hasTo:
+		return Temporal
+	default:
+		return Snapshot
+	}
+}
+
+// classifyAll combines per-occurrence classifications: any occurrence with
+// differing vtFrom/vtTo makes the tag temporal; otherwise any occurrence
+// with a point lifespan makes it an event; otherwise snapshot.
+func classifyAll(occurrences []*xmldom.Node) TagType {
+	result := Snapshot
+	for _, occ := range occurrences {
+		switch classify(occ) {
+		case Temporal:
+			return Temporal
+		case Event:
+			result = Event
+		}
+	}
+	return result
+}

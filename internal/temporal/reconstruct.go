@@ -1,0 +1,158 @@
+package temporal
+
+import (
+	"fmt"
+	"time"
+
+	"xcql/internal/fragment"
+	"xcql/internal/tagstruct"
+	"xcql/internal/xmldom"
+)
+
+// Temporalize materializes the full temporal view from the store at the
+// evaluation instant: the paper's recursive temporalize function (§5).
+// Every hole is replaced by the sequence of all its fillers' versions,
+// each annotated with its deduced [vtFrom, vtTo]; the recursion continues
+// into the fillers because holes can appear anywhere down the chain.
+//
+// The result is a fresh tree; the store is not modified. A missing root
+// filler yields an error (the stream has not delivered its initial
+// document yet).
+//
+// Each filler id is resolved exactly once, at its first reference in
+// document order: when a container element has several versions that all
+// carry the same hole (an update that kept referring to existing
+// children), the child appears under the earliest version rather than
+// being duplicated per version. This keeps the view — and therefore all
+// three query plans — consistent about element identity.
+func Temporalize(st *fragment.Store, at time.Time) (*xmldom.Node, error) {
+	root := st.LatestVersion(fragment.RootFillerID, at)
+	if root == nil {
+		return nil, fmt.Errorf("temporal: root filler has not arrived")
+	}
+	seen := make(map[int]bool)
+	return temporalizeElement(st, root.Payload, at, seen), nil
+}
+
+// temporalizeElement copies el, replacing hole children with their fillers
+// recursively. Mirrors the paper's temporalize/get_fillers pair.
+func temporalizeElement(st *fragment.Store, el *xmldom.Node, at time.Time, seen map[int]bool) *xmldom.Node {
+	out := xmldom.NewElement(el.Name)
+	out.Attrs = append(out.Attrs, el.Attrs...)
+	for _, c := range el.Children {
+		if c.Type != xmldom.ElementNode {
+			out.AppendChild(&xmldom.Node{Type: c.Type, Name: c.Name, Data: c.Data})
+			continue
+		}
+		if fragment.IsHole(c) {
+			id, err := fragment.HoleID(c)
+			if err != nil || seen[id] {
+				continue
+			}
+			seen[id] = true
+			for _, filler := range st.GetFillers(id, at) {
+				out.AppendChild(temporalizeElement(st, filler, at, seen))
+			}
+			continue
+		}
+		out.AppendChild(temporalizeElement(st, c, at, seen))
+	}
+	return out
+}
+
+// Reconstructor is the schema-driven (flattened) reconstruction of §5.1:
+// instead of testing every child generically for holes, it precompiles,
+// per tag of the Tag Structure, which children are inline and which arrive
+// as fillers, and walks fragments with an explicit work list instead of
+// per-hole recursion. Behaviour is identical to Temporalize; only the
+// mechanics differ (this is the ablation measured in the benchmarks).
+type Reconstructor struct {
+	structure *tagstruct.Structure
+	// holeBearing[tsid] reports whether the tag's subtree can contain a
+	// hole at any depth, i.e. whether reconstruction must look inside
+	// elements of this tag at all. Subtrees of purely-snapshot tags are
+	// adopted wholesale without inspection.
+	holeBearing map[int]bool
+}
+
+// NewReconstructor compiles the reconstruction plan from the structure.
+func NewReconstructor(s *tagstruct.Structure) *Reconstructor {
+	bearing := make(map[int]bool, len(s.Tags()))
+	var compute func(t *tagstruct.Tag) bool
+	compute = func(t *tagstruct.Tag) bool {
+		has := false
+		for _, c := range t.Children {
+			childBears := compute(c)
+			if c.IsFragmented() || childBears {
+				has = true
+			}
+		}
+		bearing[t.ID] = has
+		return has
+	}
+	compute(s.Root)
+	return &Reconstructor{structure: s, holeBearing: bearing}
+}
+
+// Materialize builds the temporal view using the compiled plan: an
+// explicit work list of (element, tag) pairs in which only hole-bearing
+// subtrees are ever entered.
+func (r *Reconstructor) Materialize(st *fragment.Store, at time.Time) (*xmldom.Node, error) {
+	rootFrag := st.LatestVersion(fragment.RootFillerID, at)
+	if rootFrag == nil {
+		return nil, fmt.Errorf("temporal: root filler has not arrived")
+	}
+	root := rootFrag.Payload.Clone()
+	type item struct {
+		el  *xmldom.Node
+		tag *tagstruct.Tag
+	}
+	// seen enforces the resolve-once-per-filler-id rule (see Temporalize);
+	// the work list is a stack with children pushed in reverse, so items
+	// pop in document order and the two reconstructions agree exactly.
+	seen := make(map[int]bool)
+	work := []item{{root, r.structure.Root}}
+	for len(work) > 0 {
+		it := work[len(work)-1]
+		work = work[:len(work)-1]
+		el, tag := it.el, it.tag
+		var descend []item
+		for i := 0; i < len(el.Children); i++ {
+			c := el.Children[i]
+			if c.Type != xmldom.ElementNode {
+				continue
+			}
+			if !fragment.IsHole(c) {
+				childTag := tag.Child(c.Name)
+				if childTag != nil && r.holeBearing[childTag.ID] {
+					descend = append(descend, item{c, childTag})
+				}
+				continue
+			}
+			id, err := fragment.HoleID(c)
+			if err != nil || seen[id] {
+				// drop the hole (unresolvable or already resolved earlier
+				// in document order)
+				el.Children = append(el.Children[:i], el.Children[i+1:]...)
+				i--
+				continue
+			}
+			seen[id] = true
+			fillers := st.GetFillers(id, at)
+			// splice fillers in place of the hole
+			el.Children = append(el.Children[:i], append(fillers, el.Children[i+1:]...)...)
+			fillerTag := r.structure.ByID(fragment.HoleTSID(c))
+			for _, f := range fillers {
+				f.Parent = el
+				if fillerTag != nil && r.holeBearing[fillerTag.ID] {
+					descend = append(descend, item{f, fillerTag})
+				}
+			}
+			i += len(fillers) - 1
+		}
+		for i := len(descend) - 1; i >= 0; i-- {
+			work = append(work, descend[i])
+		}
+	}
+	return root, nil
+}

@@ -1,0 +1,61 @@
+// Package xcql is the paper's primary contribution: the XCQL compiler
+// that translates temporal queries over the virtual temporal view into
+// plain engine queries over the fragmented stream (Figure 3), under three
+// physical plans:
+//
+//   - CaQ  (Construct-and-Query): materialize the whole temporal document,
+//     then run the query on it.
+//   - QaC  (Query-as-Construct): run directly on fragments, resolving
+//     holes on demand from the root via get_fillers.
+//   - QaC+ (tsid-indexed QaC): jump straight to the fillers a descendant
+//     step needs using the tsid index, skipping hole reconciliation on
+//     levels the query never touches.
+//
+// The evaluator is shared across plans; only the rewritten access paths
+// differ, so measured differences between modes are plan differences —
+// exactly the comparison of §7.
+package xcql
+
+import "fmt"
+
+// Mode selects the physical execution plan.
+type Mode uint8
+
+const (
+	// CaQ constructs the full temporal document, then queries it.
+	CaQ Mode = iota
+	// QaC queries fragments directly, reconciling holes on demand along
+	// the query path, starting from the root filler.
+	QaC
+	// QaCPlus is QaC with the tsid index: descendant steps over the whole
+	// stream fetch exactly the fillers they need.
+	QaCPlus
+)
+
+// String returns the paper's spelling of the mode.
+func (m Mode) String() string {
+	switch m {
+	case CaQ:
+		return "CaQ"
+	case QaC:
+		return "QaC"
+	case QaCPlus:
+		return "QaC+"
+	default:
+		return fmt.Sprintf("Mode(%d)", uint8(m))
+	}
+}
+
+// ParseMode parses a mode name as printed by String (case-sensitive).
+func ParseMode(s string) (Mode, error) {
+	switch s {
+	case "CaQ", "caq":
+		return CaQ, nil
+	case "QaC", "qac":
+		return QaC, nil
+	case "QaC+", "qac+", "QaCPlus":
+		return QaCPlus, nil
+	default:
+		return 0, fmt.Errorf("xcql: unknown mode %q (want CaQ, QaC or QaC+)", s)
+	}
+}

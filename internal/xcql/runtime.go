@@ -1,0 +1,462 @@
+package xcql
+
+import (
+	"fmt"
+	"math"
+	"sync"
+	"time"
+
+	"xcql/internal/fragment"
+	"xcql/internal/tagstruct"
+	"xcql/internal/temporal"
+	"xcql/internal/xmldom"
+	"xcql/internal/xq"
+	"xcql/internal/xtime"
+)
+
+// Runtime ties the compiler to live fragment stores: it registers named
+// streams, compiles XCQL queries under a chosen plan, and supplies the
+// intrinsic functions the translated plans call.
+type Runtime struct {
+	mu     sync.RWMutex
+	stores map[string]*fragment.Store
+	funcs  map[string]xq.Func
+	docs   map[string]*xmldom.Node
+}
+
+// NewRuntime returns an empty runtime.
+func NewRuntime() *Runtime {
+	return &Runtime{
+		stores: make(map[string]*fragment.Store),
+		funcs:  make(map[string]xq.Func),
+		docs:   make(map[string]*xmldom.Node),
+	}
+}
+
+// RegisterStream makes a fragment store queryable as stream(name).
+func (rt *Runtime) RegisterStream(name string, store *fragment.Store) {
+	rt.mu.Lock()
+	defer rt.mu.Unlock()
+	rt.stores[name] = store
+}
+
+// Store returns the store registered under name, or nil.
+func (rt *Runtime) Store(name string) *fragment.Store {
+	rt.mu.RLock()
+	defer rt.mu.RUnlock()
+	return rt.stores[name]
+}
+
+// RegisterFunc registers a user function (e.g. the paper's triangulate
+// and distance helpers) callable from queries.
+func (rt *Runtime) RegisterFunc(name string, f xq.Func) {
+	rt.mu.Lock()
+	defer rt.mu.Unlock()
+	rt.funcs[name] = f
+}
+
+// RegisterDoc makes a static document available to doc(uri).
+func (rt *Runtime) RegisterDoc(uri string, doc *xmldom.Node) {
+	rt.mu.Lock()
+	defer rt.mu.Unlock()
+	rt.docs[uri] = doc
+}
+
+// Structures snapshots the tag structures of all registered streams.
+func (rt *Runtime) Structures() map[string]*tagstruct.Structure {
+	rt.mu.RLock()
+	defer rt.mu.RUnlock()
+	out := make(map[string]*tagstruct.Structure, len(rt.stores))
+	for name, st := range rt.stores {
+		out[name] = st.Structure()
+	}
+	return out
+}
+
+// Query is a compiled XCQL query bound to a runtime.
+type Query struct {
+	rt     *Runtime
+	Mode   Mode
+	Source string
+	// AST is the parsed, untranslated query.
+	AST xq.Expr
+	// Plan is the translated engine expression actually evaluated.
+	Plan xq.Expr
+}
+
+// Compile parses src and translates it for the given mode against the
+// streams currently registered.
+func (rt *Runtime) Compile(src string, mode Mode) (*Query, error) {
+	ast, err := xq.Parse(src)
+	if err != nil {
+		return nil, err
+	}
+	plan, err := Compile(ast, mode, rt.Structures())
+	if err != nil {
+		return nil, err
+	}
+	return &Query{rt: rt, Mode: mode, Source: src, AST: ast, Plan: plan}, nil
+}
+
+// MustCompile compiles or panics; for tests and examples.
+func (rt *Runtime) MustCompile(src string, mode Mode) *Query {
+	q, err := rt.Compile(src, mode)
+	if err != nil {
+		panic(err)
+	}
+	return q
+}
+
+// Eval runs the plan at the evaluation instant and materializes the
+// result: holes remaining in returned fragments are resolved (the final
+// Materialize step of Figure 2), so callers always see the temporal view.
+func (q *Query) Eval(at time.Time) (xq.Sequence, error) {
+	static := q.rt.newStatic(at)
+	seq, err := xq.Eval(q.Plan, xq.NewContext(static))
+	if err != nil {
+		return nil, err
+	}
+	return q.rt.materializeResult(seq, at), nil
+}
+
+// EvalRaw runs the plan without the final materialization; benchmarks use
+// it to time pure plan execution, and callers that re-fragment results
+// want the holes kept.
+func (q *Query) EvalRaw(at time.Time) (xq.Sequence, error) {
+	static := q.rt.newStatic(at)
+	return xq.Eval(q.Plan, xq.NewContext(static))
+}
+
+// newStatic assembles the evaluation environment: intrinsics, user
+// functions, and the resolvers.
+func (rt *Runtime) newStatic(at time.Time) *xq.Static {
+	funcs := map[string]xq.Func{
+		fnView:     rt.intrView,
+		fnRoot:     rt.intrRoot,
+		fnFillers:  rt.intrFillers,
+		fnFillersB: rt.intrFillersBatch,
+		fnByTSID:   rt.intrByTSID,
+		fnIProj:    rt.intrIProj,
+		fnVProj:    rt.intrVProj,
+	}
+	rt.mu.RLock()
+	for name, f := range rt.funcs {
+		funcs[name] = f
+	}
+	rt.mu.RUnlock()
+	return &xq.Static{
+		Now:   at,
+		Funcs: funcs,
+		Stream: func(name string) (xq.Sequence, error) {
+			// uncompiled stream() access sees the materialized view
+			return rt.intrViewNamed(name, at)
+		},
+		Doc: func(uri string) (*xmldom.Node, error) {
+			rt.mu.RLock()
+			defer rt.mu.RUnlock()
+			if d, ok := rt.docs[uri]; ok {
+				return d, nil
+			}
+			return nil, fmt.Errorf("xcql: unknown document %q", uri)
+		},
+		Holes: rt.combinedResolver(at),
+	}
+}
+
+// combinedResolver resolves hole ids across all registered stores; filler
+// ids are unique within a stream, and servers are expected to keep id
+// spaces disjoint across streams they co-publish (ours do).
+func (rt *Runtime) combinedResolver(at time.Time) temporal.HoleResolver {
+	return func(holeID int) []*xmldom.Node {
+		rt.mu.RLock()
+		defer rt.mu.RUnlock()
+		for _, st := range rt.stores {
+			if els := st.GetFillers(holeID, at); len(els) > 0 {
+				return els
+			}
+		}
+		return nil
+	}
+}
+
+func (rt *Runtime) storeOrErr(name string) (*fragment.Store, error) {
+	st := rt.Store(name)
+	if st == nil {
+		return nil, fmt.Errorf("xcql: stream %q is not registered", name)
+	}
+	return st, nil
+}
+
+// --- intrinsics -----------------------------------------------------------
+
+func argString(args []xq.Sequence, i int) string {
+	if i >= len(args) || len(args[i]) == 0 {
+		return ""
+	}
+	return xq.StringValue(args[i][0])
+}
+
+func (rt *Runtime) intrViewNamed(name string, at time.Time) (xq.Sequence, error) {
+	st, err := rt.storeOrErr(name)
+	if err != nil {
+		return nil, err
+	}
+	view, err := temporal.Temporalize(st, at)
+	if err != nil {
+		return nil, err
+	}
+	doc := xmldom.NewDocument()
+	doc.AppendChild(view)
+	return xq.Singleton(doc), nil
+}
+
+func (rt *Runtime) intrView(ctx *xq.Context, args []xq.Sequence) (xq.Sequence, error) {
+	return rt.intrViewNamed(argString(args, 0), ctx.Static.Now)
+}
+
+func (rt *Runtime) intrRoot(ctx *xq.Context, args []xq.Sequence) (xq.Sequence, error) {
+	st, err := rt.storeOrErr(argString(args, 0))
+	if err != nil {
+		return nil, err
+	}
+	els := st.GetFillers(fragment.RootFillerID, ctx.Static.Now)
+	if len(els) == 0 {
+		return nil, nil
+	}
+	// only the current version of the root document is the stream's face
+	doc := xmldom.NewDocument()
+	doc.AppendChild(els[len(els)-1])
+	return xq.Singleton(doc), nil
+}
+
+// intrFillers is get_fillers of §5: for every hole with the given tsid in
+// the input nodes, return the versions of its fillers.
+func (rt *Runtime) intrFillers(ctx *xq.Context, args []xq.Sequence) (xq.Sequence, error) {
+	if len(args) != 3 {
+		return nil, fmt.Errorf("xcql: %s wants (nodes, stream, tsid)", fnFillers)
+	}
+	st, err := rt.storeOrErr(argString(args, 1))
+	if err != nil {
+		return nil, err
+	}
+	if len(args[2]) == 0 {
+		return nil, fmt.Errorf("xcql: empty tsid argument")
+	}
+	tsid := int(xq.NumberValue(args[2][0]))
+	var out xq.Sequence
+	// resolve each filler id once per call: several versions of the same
+	// container carry the same holes, and a child is one element, not one
+	// element per parent version (matches Temporalize's rule)
+	resolved := make(map[int]bool)
+	for _, n := range xq.Nodes(args[0]) {
+		ids := fragment.HoleIDs(n, tsid)
+		if len(ids) == 0 {
+			// The node may already be materialized (e.g. the output of an
+			// interval projection, which resolves holes while clipping);
+			// the versions then sit inline as name-matched children.
+			if tag := st.Structure().ByID(tsid); tag != nil {
+				for _, c := range n.ChildElements(tag.Name) {
+					out = append(out, c)
+				}
+			}
+			continue
+		}
+		for _, id := range ids {
+			if resolved[id] {
+				continue
+			}
+			resolved[id] = true
+			for _, el := range st.GetFillers(id, ctx.Static.Now) {
+				out = append(out, el)
+			}
+		}
+	}
+	return out, nil
+}
+
+// intrFillersBatch is the QaC+ flavour of get_fillers: it collects every
+// matching hole id across the input nodes and resolves the whole set in
+// one pass over the store (the unnested/join get_fillers of §8).
+func (rt *Runtime) intrFillersBatch(ctx *xq.Context, args []xq.Sequence) (xq.Sequence, error) {
+	if len(args) != 3 {
+		return nil, fmt.Errorf("xcql: %s wants (nodes, stream, tsid)", fnFillersB)
+	}
+	st, err := rt.storeOrErr(argString(args, 1))
+	if err != nil {
+		return nil, err
+	}
+	if len(args[2]) == 0 {
+		return nil, fmt.Errorf("xcql: empty tsid argument")
+	}
+	tsid := int(xq.NumberValue(args[2][0]))
+	var ids []int
+	seen := make(map[int]bool)
+	var out xq.Sequence
+	for _, n := range xq.Nodes(args[0]) {
+		holeIDs := fragment.HoleIDs(n, tsid)
+		if len(holeIDs) == 0 {
+			// materialized input: versions sit inline (see intrFillers)
+			if tag := st.Structure().ByID(tsid); tag != nil {
+				for _, c := range n.ChildElements(tag.Name) {
+					out = append(out, c)
+				}
+			}
+			continue
+		}
+		for _, id := range holeIDs {
+			if !seen[id] {
+				seen[id] = true
+				ids = append(ids, id)
+			}
+		}
+	}
+	for _, el := range st.GetFillersList(ids, ctx.Static.Now) {
+		out = append(out, el)
+	}
+	return out, nil
+}
+
+// intrByTSID is the QaC+ access path: all filler versions whose tsid is in
+// the given set, fetched straight from the tsid index (one predicate scan
+// in the paper's cost model) without touching any other document level.
+func (rt *Runtime) intrByTSID(ctx *xq.Context, args []xq.Sequence) (xq.Sequence, error) {
+	if len(args) < 2 {
+		return nil, fmt.Errorf("xcql: %s wants (stream, tsid…)", fnByTSID)
+	}
+	st, err := rt.storeOrErr(argString(args, 0))
+	if err != nil {
+		return nil, err
+	}
+	var out xq.Sequence
+	for _, a := range args[1:] {
+		if len(a) == 0 {
+			continue
+		}
+		tsid := int(xq.NumberValue(a[0]))
+		for _, el := range st.GetFillersByTSID(tsid, ctx.Static.Now) {
+			out = append(out, el)
+		}
+	}
+	return out, nil
+}
+
+func (rt *Runtime) intrIProj(ctx *xq.Context, args []xq.Sequence) (xq.Sequence, error) {
+	if len(args) != 4 {
+		return nil, fmt.Errorf("xcql: %s wants (nodes, tb, te, stream)", fnIProj)
+	}
+	st, err := rt.storeOrErr(argString(args, 3))
+	if err != nil {
+		return nil, err
+	}
+	from, ok := endpointDateTime(args[1])
+	if !ok {
+		return nil, fmt.Errorf("xcql: interval start is not a dateTime")
+	}
+	to, ok := endpointDateTime(args[2])
+	if !ok {
+		return nil, fmt.Errorf("xcql: interval end is not a dateTime")
+	}
+	window := xtime.NewInterval(from, to)
+	at := ctx.Static.Now
+	nodes := xq.Nodes(args[0])
+	return xq.FromNodes(temporal.IntervalProjection(nodes, window, at, temporal.StoreResolver(st, at))), nil
+}
+
+func endpointDateTime(seq xq.Sequence) (xtime.DateTime, bool) {
+	if len(seq) == 0 {
+		return xtime.DateTime{}, false
+	}
+	return xq.DateTimeValue(xq.Atomize(seq)[0])
+}
+
+func (rt *Runtime) intrVProj(ctx *xq.Context, args []xq.Sequence) (xq.Sequence, error) {
+	if len(args) != 4 {
+		return nil, fmt.Errorf("xcql: %s wants (nodes, vb, ve, stream)", fnVProj)
+	}
+	st, err := rt.storeOrErr(argString(args, 3))
+	if err != nil {
+		return nil, err
+	}
+	window := xtime.VersionInterval{}
+	var ok bool
+	window.From, window.FromLast, ok = endpointVersion(args[1])
+	if !ok {
+		return nil, fmt.Errorf("xcql: version start is not a number")
+	}
+	window.To, window.ToLast, ok = endpointVersion(args[2])
+	if !ok {
+		return nil, fmt.Errorf("xcql: version end is not a number")
+	}
+	at := ctx.Static.Now
+	nodes := xq.Nodes(args[0])
+	return xq.FromNodes(temporal.VersionProjection(nodes, window, at, temporal.StoreResolver(st, at))), nil
+}
+
+func endpointVersion(seq xq.Sequence) (n int, last, ok bool) {
+	if len(seq) == 0 {
+		return 0, false, false
+	}
+	it := xq.Atomize(seq)[0]
+	if s, isStr := it.(string); isStr && s == "last" {
+		return 0, true, true
+	}
+	f := xq.NumberValue(it)
+	if math.IsNaN(f) {
+		return 0, false, false
+	}
+	return int(f), false, true
+}
+
+// materializeResult resolves any holes left in result nodes (the final
+// Materialize of Figure 2) so every caller sees hole-free temporal XML.
+func (rt *Runtime) materializeResult(seq xq.Sequence, at time.Time) xq.Sequence {
+	resolver := rt.combinedResolver(at)
+	out := make(xq.Sequence, 0, len(seq))
+	for _, it := range seq {
+		n, ok := it.(*xmldom.Node)
+		if !ok || !hasHoles(n) {
+			out = append(out, it)
+			continue
+		}
+		out = append(out, fillHoles(n, resolver, make(map[int]bool)))
+	}
+	return out
+}
+
+func hasHoles(n *xmldom.Node) bool {
+	found := false
+	n.Walk(func(m *xmldom.Node) bool {
+		if fragment.IsHole(m) {
+			found = true
+		}
+		return !found
+	})
+	return found
+}
+
+// fillHoles returns a copy of n with every hole replaced by its fillers'
+// versions, recursively, resolving each filler id once (Temporalize's
+// rule).
+func fillHoles(n *xmldom.Node, resolve temporal.HoleResolver, seen map[int]bool) *xmldom.Node {
+	out := xmldom.NewElement(n.Name)
+	out.Attrs = append(out.Attrs, n.Attrs...)
+	for _, c := range n.Children {
+		if c.Type != xmldom.ElementNode {
+			out.AppendChild(&xmldom.Node{Type: c.Type, Name: c.Name, Data: c.Data})
+			continue
+		}
+		if fragment.IsHole(c) {
+			id, err := fragment.HoleID(c)
+			if err != nil || seen[id] {
+				continue
+			}
+			seen[id] = true
+			for _, filler := range resolve(id) {
+				out.AppendChild(fillHoles(filler, resolve, seen))
+			}
+			continue
+		}
+		out.AppendChild(fillHoles(c, resolve, seen))
+	}
+	return out
+}

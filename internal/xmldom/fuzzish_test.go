@@ -1,0 +1,46 @@
+package xmldom
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+// TestParserNeverPanics feeds arbitrary byte soup to the parser: it may
+// reject the input (almost always will) but must never panic — the
+// client consumes untrusted broadcast data it cannot ask to be re-sent.
+func TestParserNeverPanics(t *testing.T) {
+	f := func(data []byte) bool {
+		_, _ = ParseString(string(data))
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestParserNeverPanicsOnMarkupSoup biases the fuzz toward markup-shaped
+// input, which exercises far more of the tokenizer.
+func TestParserNeverPanicsOnMarkupSoup(t *testing.T) {
+	pieces := []string{
+		"<", ">", "</", "/>", "a", "b", `="`, `"`, "&", ";", "amp", "#x41",
+		"<!--", "-->", "<![CDATA[", "]]>", "<?", "?>", " ", "=", "'", "!", "x",
+	}
+	f := func(picks []uint8) bool {
+		var b strings.Builder
+		for _, p := range picks {
+			b.WriteString(pieces[int(p)%len(pieces)])
+		}
+		_, _ = ParseString(b.String())
+		d := NewStreamDecoder(strings.NewReader(b.String()))
+		for i := 0; i < 4; i++ {
+			if _, err := d.ReadElement(); err != nil {
+				break
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 3000}); err != nil {
+		t.Fatal(err)
+	}
+}

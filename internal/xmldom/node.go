@@ -1,0 +1,336 @@
+// Package xmldom provides the XML substrate for the fragmented-stream
+// system: a compact mutable document tree, an incremental tokenizer that
+// can pull one complete element at a time off an unbounded stream (the way
+// fragments arrive on the wire), a recursive-descent parser, and a
+// serializer.
+//
+// The tree is deliberately simple — elements, attributes, text and
+// comments, no namespace resolution — because the wire format of the
+// paper's system is plain prefixed names (e.g. <stream:structure>) treated
+// as opaque tags.
+package xmldom
+
+import "strings"
+
+// NodeType discriminates tree nodes.
+type NodeType uint8
+
+const (
+	// DocumentNode is the synthetic root produced by Parse; its children
+	// are the top-level comments/PIs and the single document element.
+	DocumentNode NodeType = iota
+	// ElementNode is a tagged element.
+	ElementNode
+	// TextNode is character data (entity references already resolved).
+	TextNode
+	// CommentNode is a <!-- --> comment.
+	CommentNode
+	// ProcInstNode is a processing instruction (<?target data?>).
+	ProcInstNode
+)
+
+// Attr is a single attribute.
+type Attr struct {
+	Name  string
+	Value string
+}
+
+// Node is a node of the document tree. Fields are exported for direct
+// construction in tests; use the constructors for common cases.
+type Node struct {
+	Type     NodeType
+	Name     string // element tag or PI target
+	Data     string // text/comment content
+	Attrs    []Attr
+	Children []*Node
+	Parent   *Node
+}
+
+// NewDocument returns an empty document node.
+func NewDocument() *Node { return &Node{Type: DocumentNode} }
+
+// NewElement returns an element with the given tag.
+func NewElement(name string) *Node { return &Node{Type: ElementNode, Name: name} }
+
+// NewText returns a text node.
+func NewText(data string) *Node { return &Node{Type: TextNode, Data: data} }
+
+// NewComment returns a comment node.
+func NewComment(data string) *Node { return &Node{Type: CommentNode, Data: data} }
+
+// Elem builds an element with attributes given as alternating name/value
+// pairs followed by child nodes — a convenience for tests and generators.
+func Elem(name string, attrs []Attr, children ...*Node) *Node {
+	e := NewElement(name)
+	e.Attrs = append(e.Attrs, attrs...)
+	for _, c := range children {
+		e.AppendChild(c)
+	}
+	return e
+}
+
+// TextElem builds <name>text</name>.
+func TextElem(name, text string) *Node {
+	e := NewElement(name)
+	e.AppendChild(NewText(text))
+	return e
+}
+
+// AppendChild attaches c as the last child of n and sets its parent.
+func (n *Node) AppendChild(c *Node) *Node {
+	c.Parent = n
+	n.Children = append(n.Children, c)
+	return n
+}
+
+// InsertChildAt inserts c at index i (clamped) among n's children.
+func (n *Node) InsertChildAt(i int, c *Node) {
+	if i < 0 {
+		i = 0
+	}
+	if i > len(n.Children) {
+		i = len(n.Children)
+	}
+	c.Parent = n
+	n.Children = append(n.Children, nil)
+	copy(n.Children[i+1:], n.Children[i:])
+	n.Children[i] = c
+}
+
+// RemoveChild detaches the first occurrence of c and reports success.
+func (n *Node) RemoveChild(c *Node) bool {
+	for i, ch := range n.Children {
+		if ch == c {
+			n.Children = append(n.Children[:i], n.Children[i+1:]...)
+			c.Parent = nil
+			return true
+		}
+	}
+	return false
+}
+
+// Attr returns the value of the named attribute.
+func (n *Node) Attr(name string) (string, bool) {
+	for _, a := range n.Attrs {
+		if a.Name == name {
+			return a.Value, true
+		}
+	}
+	return "", false
+}
+
+// AttrOr returns the named attribute value or the default.
+func (n *Node) AttrOr(name, def string) string {
+	if v, ok := n.Attr(name); ok {
+		return v
+	}
+	return def
+}
+
+// SetAttr sets or replaces the named attribute.
+func (n *Node) SetAttr(name, value string) {
+	for i, a := range n.Attrs {
+		if a.Name == name {
+			n.Attrs[i].Value = value
+			return
+		}
+	}
+	n.Attrs = append(n.Attrs, Attr{Name: name, Value: value})
+}
+
+// RemoveAttr deletes the named attribute and reports whether it existed.
+func (n *Node) RemoveAttr(name string) bool {
+	for i, a := range n.Attrs {
+		if a.Name == name {
+			n.Attrs = append(n.Attrs[:i], n.Attrs[i+1:]...)
+			return true
+		}
+	}
+	return false
+}
+
+// Root returns the document element of a document node, or n itself when n
+// is already an element.
+func (n *Node) Root() *Node {
+	if n.Type != DocumentNode {
+		return n
+	}
+	for _, c := range n.Children {
+		if c.Type == ElementNode {
+			return c
+		}
+	}
+	return nil
+}
+
+// ElementChildren returns the element children, allocating only on demand.
+func (n *Node) ElementChildren() []*Node {
+	var out []*Node
+	for _, c := range n.Children {
+		if c.Type == ElementNode {
+			out = append(out, c)
+		}
+	}
+	return out
+}
+
+// ChildElements returns the element children with the given tag.
+func (n *Node) ChildElements(name string) []*Node {
+	var out []*Node
+	for _, c := range n.Children {
+		if c.Type == ElementNode && c.Name == name {
+			out = append(out, c)
+		}
+	}
+	return out
+}
+
+// FirstChildElement returns the first element child with the given tag.
+func (n *Node) FirstChildElement(name string) *Node {
+	for _, c := range n.Children {
+		if c.Type == ElementNode && c.Name == name {
+			return c
+		}
+	}
+	return nil
+}
+
+// Descendants appends to out every descendant element (document order,
+// self excluded) with the given tag; "*" matches any tag.
+func (n *Node) Descendants(name string) []*Node {
+	var out []*Node
+	var walk func(*Node)
+	walk = func(m *Node) {
+		for _, c := range m.Children {
+			if c.Type == ElementNode {
+				if name == "*" || c.Name == name {
+					out = append(out, c)
+				}
+				walk(c)
+			}
+		}
+	}
+	walk(n)
+	return out
+}
+
+// Walk visits n and every descendant in document order; returning false
+// from the visitor prunes that subtree.
+func (n *Node) Walk(visit func(*Node) bool) {
+	if !visit(n) {
+		return
+	}
+	for _, c := range n.Children {
+		c.Walk(visit)
+	}
+}
+
+// Text returns the concatenation of all descendant text nodes.
+func (n *Node) Text() string {
+	if n.Type == TextNode {
+		return n.Data
+	}
+	var b strings.Builder
+	n.Walk(func(m *Node) bool {
+		if m.Type == TextNode {
+			b.WriteString(m.Data)
+		}
+		return true
+	})
+	return b.String()
+}
+
+// TrimmedText is Text with surrounding whitespace removed.
+func (n *Node) TrimmedText() string { return strings.TrimSpace(n.Text()) }
+
+// Clone returns a deep copy of the subtree with a nil parent.
+func (n *Node) Clone() *Node {
+	c := &Node{Type: n.Type, Name: n.Name, Data: n.Data}
+	if n.Attrs != nil {
+		c.Attrs = make([]Attr, len(n.Attrs))
+		copy(c.Attrs, n.Attrs)
+	}
+	for _, ch := range n.Children {
+		c.AppendChild(ch.Clone())
+	}
+	return c
+}
+
+// Equal reports deep structural equality ignoring parents. Attribute order
+// is significant (the wire format is deterministic).
+func (n *Node) Equal(o *Node) bool {
+	if n == nil || o == nil {
+		return n == o
+	}
+	if n.Type != o.Type || n.Name != o.Name || n.Data != o.Data ||
+		len(n.Attrs) != len(o.Attrs) || len(n.Children) != len(o.Children) {
+		return false
+	}
+	for i := range n.Attrs {
+		if n.Attrs[i] != o.Attrs[i] {
+			return false
+		}
+	}
+	for i := range n.Children {
+		if !n.Children[i].Equal(o.Children[i]) {
+			return false
+		}
+	}
+	return true
+}
+
+// Path returns a /-separated tag path from the root to n, for diagnostics.
+func (n *Node) Path() string {
+	var parts []string
+	for m := n; m != nil && m.Type == ElementNode; m = m.Parent {
+		parts = append(parts, m.Name)
+	}
+	for i, j := 0, len(parts)-1; i < j; i, j = i+1, j-1 {
+		parts[i], parts[j] = parts[j], parts[i]
+	}
+	return "/" + strings.Join(parts, "/")
+}
+
+// DocumentOrderLess reports whether a precedes b in document order within
+// the same tree. Nodes from different trees compare arbitrarily but
+// consistently.
+func DocumentOrderLess(a, b *Node) bool {
+	if a == b {
+		return false
+	}
+	pa, pb := ancestry(a), ancestry(b)
+	i := 0
+	for i < len(pa) && i < len(pb) && pa[i] == pb[i] {
+		i++
+	}
+	if i == len(pa) {
+		return true // a is an ancestor of b
+	}
+	if i == len(pb) {
+		return false
+	}
+	parent := pa[i].Parent
+	if parent == nil {
+		return false
+	}
+	for _, c := range parent.Children {
+		if c == pa[i] {
+			return true
+		}
+		if c == pb[i] {
+			return false
+		}
+	}
+	return false
+}
+
+func ancestry(n *Node) []*Node {
+	var chain []*Node
+	for m := n; m != nil; m = m.Parent {
+		chain = append(chain, m)
+	}
+	for i, j := 0, len(chain)-1; i < j; i, j = i+1, j-1 {
+		chain[i], chain[j] = chain[j], chain[i]
+	}
+	return chain
+}

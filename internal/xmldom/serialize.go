@@ -1,0 +1,131 @@
+package xmldom
+
+import (
+	"io"
+	"strings"
+)
+
+// Encode serializes the subtree compactly (no added whitespace) — the
+// canonical wire form. Text and attribute values are escaped.
+func (n *Node) Encode(w io.Writer) error {
+	sw := &stickyWriter{w: w}
+	writeNode(sw, n, -1, false)
+	return sw.err
+}
+
+// EncodeIndent serializes with two-space indentation for humans.
+// Mixed-content elements (those with non-whitespace text children) are
+// kept inline so text is not distorted.
+func (n *Node) EncodeIndent(w io.Writer) error {
+	sw := &stickyWriter{w: w}
+	writeNode(sw, n, 0, true)
+	if sw.err == nil {
+		sw.WriteString("\n")
+	}
+	return sw.err
+}
+
+// String returns the compact serialization.
+func (n *Node) String() string {
+	var b strings.Builder
+	_ = n.Encode(&b)
+	return b.String()
+}
+
+// IndentString returns the indented serialization.
+func (n *Node) IndentString() string {
+	var b strings.Builder
+	_ = n.EncodeIndent(&b)
+	return b.String()
+}
+
+type stickyWriter struct {
+	w   io.Writer
+	err error
+}
+
+func (s *stickyWriter) WriteString(str string) {
+	if s.err != nil {
+		return
+	}
+	_, s.err = io.WriteString(s.w, str)
+}
+
+func writeNode(w *stickyWriter, n *Node, depth int, indent bool) {
+	switch n.Type {
+	case DocumentNode:
+		first := true
+		for _, c := range n.Children {
+			if indent && !first {
+				w.WriteString("\n")
+			}
+			writeNode(w, c, depth, indent)
+			first = false
+		}
+	case TextNode:
+		w.WriteString(EscapeText(n.Data))
+	case CommentNode:
+		w.WriteString("<!--")
+		w.WriteString(n.Data)
+		w.WriteString("-->")
+	case ProcInstNode:
+		w.WriteString("<?")
+		w.WriteString(n.Name)
+		if n.Data != "" {
+			w.WriteString(" ")
+			w.WriteString(n.Data)
+		}
+		w.WriteString("?>")
+	case ElementNode:
+		w.WriteString("<")
+		w.WriteString(n.Name)
+		for _, a := range n.Attrs {
+			w.WriteString(" ")
+			w.WriteString(a.Name)
+			w.WriteString(`="`)
+			w.WriteString(EscapeAttr(a.Value))
+			w.WriteString(`"`)
+		}
+		if len(n.Children) == 0 {
+			w.WriteString("/>")
+			return
+		}
+		w.WriteString(">")
+		if indent && !n.mixed() {
+			pad := strings.Repeat("  ", depth+1)
+			for _, c := range n.Children {
+				w.WriteString("\n")
+				w.WriteString(pad)
+				writeNode(w, c, depth+1, indent)
+			}
+			w.WriteString("\n")
+			w.WriteString(strings.Repeat("  ", depth))
+		} else {
+			for _, c := range n.Children {
+				writeNode(w, c, depth+1, false)
+			}
+		}
+		w.WriteString("</")
+		w.WriteString(n.Name)
+		w.WriteString(">")
+	}
+}
+
+// mixed reports whether the element has non-whitespace text children.
+func (n *Node) mixed() bool {
+	for _, c := range n.Children {
+		if c.Type == TextNode && strings.TrimSpace(c.Data) != "" {
+			return true
+		}
+	}
+	return false
+}
+
+var textEscaper = strings.NewReplacer("&", "&amp;", "<", "&lt;", ">", "&gt;")
+var attrEscaper = strings.NewReplacer("&", "&amp;", "<", "&lt;", ">", "&gt;", `"`, "&quot;", "\n", "&#10;", "\t", "&#9;")
+
+// EscapeText escapes character data for serialization.
+func EscapeText(s string) string { return textEscaper.Replace(s) }
+
+// EscapeAttr escapes an attribute value for serialization in double quotes.
+func EscapeAttr(s string) string { return attrEscaper.Replace(s) }

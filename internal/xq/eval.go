@@ -1,0 +1,956 @@
+package xq
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strconv"
+	"time"
+
+	"xcql/internal/temporal"
+	"xcql/internal/xmldom"
+	"xcql/internal/xtime"
+)
+
+// Static holds the per-evaluation environment shared by every context:
+// the evaluation instant (what "now" resolves to), the function registry,
+// and the resolvers that tie the engine to documents, streams and
+// fragment stores.
+type Static struct {
+	// Now is the evaluation instant; continuous queries re-evaluate with a
+	// moving Now.
+	Now time.Time
+	// Funcs resolves function calls; nil falls back to the builtins.
+	Funcs map[string]Func
+	// Stream resolves stream("name") to the sequence forming the root of
+	// that stream's temporal view. Set by the xcql runtime.
+	Stream func(name string) (Sequence, error)
+	// Doc resolves doc("uri") / document("uri").
+	Doc func(uri string) (*xmldom.Node, error)
+	// Holes resolves hole ids during interval/version projections over
+	// fragment trees; nil means projections see materialized views only.
+	Holes temporal.HoleResolver
+}
+
+// Func is a registered function implementation.
+type Func func(ctx *Context, args []Sequence) (Sequence, error)
+
+// Context is a dynamic evaluation context: variable bindings, the context
+// item, and its position/size for predicate evaluation.
+type Context struct {
+	Static *Static
+	vars   *binding
+	item   Item
+	pos    int // 1-based position() inside a predicate
+	size   int // last() inside a predicate
+}
+
+type binding struct {
+	name string
+	val  Sequence
+	next *binding
+}
+
+// NewContext builds a root context over the given static environment.
+func NewContext(s *Static) *Context {
+	if s.Now.IsZero() {
+		s.Now = time.Now().UTC()
+	}
+	return &Context{Static: s}
+}
+
+// Bind returns a child context with $name bound to val.
+func (c *Context) Bind(name string, val Sequence) *Context {
+	child := *c
+	child.vars = &binding{name: name, val: val, next: c.vars}
+	return &child
+}
+
+// WithItem returns a child context focused on item at position pos of size.
+func (c *Context) WithItem(item Item, pos, size int) *Context {
+	child := *c
+	child.item, child.pos, child.size = item, pos, size
+	return &child
+}
+
+// Var looks up a variable binding.
+func (c *Context) Var(name string) (Sequence, bool) {
+	for b := c.vars; b != nil; b = b.next {
+		if b.name == name {
+			return b.val, true
+		}
+	}
+	return nil, false
+}
+
+// Eval evaluates the expression in the context.
+func Eval(e Expr, ctx *Context) (Sequence, error) {
+	switch ex := e.(type) {
+	case *Literal:
+		return Singleton(ex.Val), nil
+	case *VarRef:
+		v, ok := ctx.Var(ex.Name)
+		if !ok {
+			return nil, fmt.Errorf("xq: undefined variable $%s", ex.Name)
+		}
+		return v, nil
+	case *ContextItem:
+		if ctx.item == nil {
+			return nil, fmt.Errorf("xq: context item is undefined")
+		}
+		return Singleton(ctx.item), nil
+	case *SeqExpr:
+		var out Sequence
+		for _, it := range ex.Items {
+			s, err := Eval(it, ctx)
+			if err != nil {
+				return nil, err
+			}
+			out = append(out, s...)
+		}
+		return out, nil
+	case *Path:
+		return evalPath(ex, ctx)
+	case *Filter:
+		base, err := Eval(ex.Base, ctx)
+		if err != nil {
+			return nil, err
+		}
+		return applyPredicates(base, ex.Preds, ctx)
+	case *BinOp:
+		return evalBinOp(ex, ctx)
+	case *Unary:
+		v, err := Eval(ex.E, ctx)
+		if err != nil {
+			return nil, err
+		}
+		if len(v) == 0 {
+			return nil, nil
+		}
+		return Singleton(-NumberValue(v[0])), nil
+	case *If:
+		cond, err := Eval(ex.Cond, ctx)
+		if err != nil {
+			return nil, err
+		}
+		if EffectiveBool(cond) {
+			return Eval(ex.Then, ctx)
+		}
+		return Eval(ex.Else, ctx)
+	case *FLWOR:
+		return evalFLWOR(ex, ctx)
+	case *Quantified:
+		return evalQuantified(ex, ctx)
+	case *Call:
+		return evalCall(ex, ctx)
+	case *ElemCtor:
+		return evalElemCtor(ex, ctx)
+	case *AttrCtorExpr:
+		v, err := Eval(ex.Value, ctx)
+		if err != nil {
+			return nil, err
+		}
+		return Singleton(AttrItem{Name: ex.Name, Value: joinAtomics(Atomize(v))}), nil
+	case *IntervalProj:
+		return evalIntervalProj(ex, ctx)
+	case *VersionProj:
+		return evalVersionProj(ex, ctx)
+	case *LastMarker:
+		return nil, fmt.Errorf("xq: 'last' is only valid inside #[…]")
+	case *StreamRef:
+		if ctx.Static.Stream == nil {
+			return nil, fmt.Errorf("xq: stream(%q): no stream resolver configured", ex.Name)
+		}
+		return ctx.Static.Stream(ex.Name)
+	case *Module:
+		return evalModule(ex, ctx)
+	default:
+		return nil, fmt.Errorf("xq: cannot evaluate %T", e)
+	}
+}
+
+// --- paths ----------------------------------------------------------------
+
+func evalPath(p *Path, ctx *Context) (Sequence, error) {
+	var cur Sequence
+	if p.Base != nil {
+		base, err := Eval(p.Base, ctx)
+		if err != nil {
+			return nil, err
+		}
+		cur = base
+	} else {
+		if ctx.item == nil {
+			return nil, fmt.Errorf("xq: relative path with undefined context item")
+		}
+		cur = Singleton(ctx.item)
+	}
+	for _, step := range p.Steps {
+		next, err := applyStep(cur, step, ctx)
+		if err != nil {
+			return nil, err
+		}
+		cur = next
+	}
+	return cur, nil
+}
+
+func applyStep(input Sequence, step Step, ctx *Context) (Sequence, error) {
+	var out Sequence
+	seen := map[*xmldom.Node]bool{}
+	for _, it := range input {
+		n, ok := it.(*xmldom.Node)
+		if !ok {
+			continue // axis steps only apply to nodes
+		}
+		matches := stepMatches(n, step, ctx.Static.Holes)
+		filtered, err := applyPredicates(matches, step.Preds, ctx)
+		if err != nil {
+			return nil, err
+		}
+		for _, m := range filtered {
+			if mn, ok := m.(*xmldom.Node); ok {
+				if seen[mn] {
+					continue
+				}
+				seen[mn] = true
+			}
+			out = append(out, m)
+		}
+	}
+	return out, nil
+}
+
+// stepMatches applies one axis step to a node. When a hole resolver is
+// configured, <hole> placeholders encountered by child and descendant
+// steps transparently expand to their fillers' versions, so the temporal
+// view abstraction holds even for paths the XCQL translator could not
+// type statically (user-function bodies, copied fragment content).
+func stepMatches(n *xmldom.Node, step Step, resolve temporal.HoleResolver) Sequence {
+	switch step.Axis {
+	case AxisSelf:
+		return Singleton(n)
+	case AxisAttribute:
+		if step.Name == "*" {
+			out := make(Sequence, 0, len(n.Attrs))
+			for _, a := range n.Attrs {
+				out = append(out, AttrItem{Name: a.Name, Value: a.Value})
+			}
+			return out
+		}
+		if v, ok := n.Attr(step.Name); ok {
+			return Singleton(AttrItem{Name: step.Name, Value: v})
+		}
+		return nil
+	case AxisChild:
+		if step.Name == "text()" {
+			var out Sequence
+			for _, c := range n.Children {
+				if c.Type == xmldom.TextNode {
+					out = append(out, c)
+				}
+			}
+			return out
+		}
+		var out Sequence
+		for _, c := range elementChildrenResolved(n, resolve) {
+			if step.Name == "*" || c.Name == step.Name {
+				out = append(out, c)
+			}
+		}
+		return out
+	case AxisDescendant:
+		if step.Name == "text()" {
+			var out Sequence
+			n.Walk(func(m *xmldom.Node) bool {
+				if m.Type == xmldom.TextNode {
+					out = append(out, m)
+				}
+				return true
+			})
+			return out
+		}
+		if resolve == nil {
+			return FromNodes(n.Descendants(step.Name))
+		}
+		var out Sequence
+		var walk func(m *xmldom.Node)
+		walk = func(m *xmldom.Node) {
+			for _, c := range elementChildrenResolved(m, resolve) {
+				if step.Name == "*" || c.Name == step.Name {
+					out = append(out, c)
+				}
+				walk(c)
+			}
+		}
+		walk(n)
+		return out
+	}
+	return nil
+}
+
+// elementChildrenResolved returns n's element children with holes
+// replaced by their fillers (one level). Without a resolver, holes are
+// simply skipped — they are plumbing, not data.
+func elementChildrenResolved(n *xmldom.Node, resolve temporal.HoleResolver) []*xmldom.Node {
+	var out []*xmldom.Node
+	for _, c := range n.Children {
+		if c.Type != xmldom.ElementNode {
+			continue
+		}
+		if c.Name == "hole" {
+			if resolve == nil {
+				continue
+			}
+			if idStr, ok := c.Attr("id"); ok {
+				if id, err := strconv.Atoi(idStr); err == nil {
+					out = append(out, resolve(id)...)
+				}
+			}
+			continue
+		}
+		out = append(out, c)
+	}
+	return out
+}
+
+func applyPredicates(input Sequence, preds []Expr, ctx *Context) (Sequence, error) {
+	cur := input
+	for _, pred := range preds {
+		var next Sequence
+		size := len(cur)
+		for i, it := range cur {
+			pc := ctx.WithItem(it, i+1, size)
+			v, err := Eval(pred, pc)
+			if err != nil {
+				return nil, err
+			}
+			// numeric predicate selects by position
+			if len(v) == 1 {
+				if f, ok := v[0].(float64); ok {
+					if int(f) == i+1 {
+						next = append(next, it)
+					}
+					continue
+				}
+			}
+			if EffectiveBool(v) {
+				next = append(next, it)
+			}
+		}
+		cur = next
+	}
+	return cur, nil
+}
+
+// --- operators --------------------------------------------------------------
+
+var allenOps = map[string]bool{
+	"before": true, "after": true, "meets": true, "overlaps": true,
+	"during": true, "covers": true, "starts": true, "finishes": true,
+}
+
+func evalBinOp(b *BinOp, ctx *Context) (Sequence, error) {
+	switch b.Op {
+	case "or":
+		l, err := Eval(b.L, ctx)
+		if err != nil {
+			return nil, err
+		}
+		if EffectiveBool(l) {
+			return Singleton(true), nil
+		}
+		r, err := Eval(b.R, ctx)
+		if err != nil {
+			return nil, err
+		}
+		return Singleton(EffectiveBool(r)), nil
+	case "and":
+		l, err := Eval(b.L, ctx)
+		if err != nil {
+			return nil, err
+		}
+		if !EffectiveBool(l) {
+			return Singleton(false), nil
+		}
+		r, err := Eval(b.R, ctx)
+		if err != nil {
+			return nil, err
+		}
+		return Singleton(EffectiveBool(r)), nil
+	}
+	l, err := Eval(b.L, ctx)
+	if err != nil {
+		return nil, err
+	}
+	r, err := Eval(b.R, ctx)
+	if err != nil {
+		return nil, err
+	}
+	switch b.Op {
+	case "=", "!=", "<", "<=", ">", ">=":
+		return Singleton(generalCompare(b.Op, l, r, ctx.Static.Now)), nil
+	case "eq", "ne", "lt", "le", "gt", "ge":
+		if len(l) == 0 || len(r) == 0 {
+			return nil, nil
+		}
+		la, ra := Atomize(l)[0], Atomize(r)[0]
+		if isNaNItem(la) || isNaNItem(ra) {
+			return Singleton(b.Op == "ne"), nil
+		}
+		c := compareAtomic(la, ra, ctx.Static.Now)
+		var res bool
+		switch b.Op {
+		case "eq":
+			res = c == 0
+		case "ne":
+			res = c != 0
+		case "lt":
+			res = c < 0
+		case "le":
+			res = c <= 0
+		case "gt":
+			res = c > 0
+		case "ge":
+			res = c >= 0
+		}
+		return Singleton(res), nil
+	case "+", "-", "*", "div", "idiv", "mod":
+		return evalArith(b.Op, l, r, ctx.Static.Now)
+	}
+	if allenOps[b.Op] {
+		li, lok := sequenceInterval(l, ctx.Static.Now)
+		ri, rok := sequenceInterval(r, ctx.Static.Now)
+		if !lok || !rok {
+			return Singleton(false), nil
+		}
+		at := ctx.Static.Now
+		var res bool
+		switch b.Op {
+		case "before":
+			res = li.Before(ri, at)
+		case "after":
+			res = li.After(ri, at)
+		case "meets":
+			res = li.Meets(ri, at)
+		case "overlaps":
+			res = li.Overlaps(ri, at)
+		case "during":
+			res = li.During(ri, at)
+		case "covers":
+			res = li.Covers(ri, at)
+		case "starts":
+			res = li.Starts(ri, at)
+		case "finishes":
+			res = li.Finishes(ri, at)
+		}
+		return Singleton(res), nil
+	}
+	return nil, fmt.Errorf("xq: unknown operator %q", b.Op)
+}
+
+// generalCompare implements XPath existential comparison semantics.
+func generalCompare(op string, l, r Sequence, at time.Time) bool {
+	la, ra := Atomize(l), Atomize(r)
+	for _, a := range la {
+		for _, b := range ra {
+			if isNaNItem(a) || isNaNItem(b) {
+				continue // NaN compares false to everything
+			}
+			c := compareAtomic(a, b, at)
+			ok := false
+			switch op {
+			case "=":
+				ok = c == 0
+			case "!=":
+				ok = c != 0
+			case "<":
+				ok = c < 0
+			case "<=":
+				ok = c <= 0
+			case ">":
+				ok = c > 0
+			case ">=":
+				ok = c >= 0
+			}
+			if ok {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// sequenceInterval derives the time interval of a sequence for Allen
+// comparisons: the lifespan of a node, a point for a dateTime, or the
+// value of an interval-like pair.
+func sequenceInterval(seq Sequence, at time.Time) (xtime.Interval, bool) {
+	if len(seq) == 0 {
+		return xtime.Interval{}, false
+	}
+	switch v := seq[0].(type) {
+	case *xmldom.Node:
+		return temporal.DerivedLifespan(v, at), true
+	case xtime.DateTime:
+		if len(seq) >= 2 {
+			if to, ok := seq[1].(xtime.DateTime); ok {
+				return xtime.NewInterval(v, to), true
+			}
+		}
+		return xtime.PointInterval(v), true
+	default:
+		if dt, ok := DateTimeValue(v); ok {
+			return xtime.PointInterval(dt), true
+		}
+	}
+	return xtime.Interval{}, false
+}
+
+func evalArith(op string, l, r Sequence, at time.Time) (Sequence, error) {
+	la, ra := Atomize(l), Atomize(r)
+	if len(la) == 0 || len(ra) == 0 {
+		return nil, nil
+	}
+	a, b := la[0], ra[0]
+	// dateTime ± duration, dateTime ± number (seconds), dateTime - dateTime
+	if da, ok := a.(xtime.DateTime); !ok {
+		// also allow lexical dateTimes from node content
+		if s, isStr := a.(string); isStr {
+			if d, err := xtime.Parse(s); err == nil {
+				da, a = d, d
+				_ = da
+			}
+		}
+	} else {
+		_ = da
+	}
+	if da, ok := a.(xtime.DateTime); ok {
+		switch bv := b.(type) {
+		case xtime.Duration:
+			switch op {
+			case "+":
+				return Singleton(da.Add(bv)), nil
+			case "-":
+				return Singleton(da.Sub(bv)), nil
+			}
+		case xtime.DateTime:
+			if op == "-" {
+				diff := da.Resolve(at).Sub(bv.Resolve(at))
+				return Singleton(xtime.Duration{Seconds: diff.Seconds()}), nil
+			}
+		default:
+			n := NumberValue(b)
+			if !math.IsNaN(n) {
+				d := xtime.Duration{Seconds: math.Abs(n)}
+				if n < 0 {
+					d.Negative = true
+				}
+				switch op {
+				case "+":
+					return Singleton(da.Add(d)), nil
+				case "-":
+					return Singleton(da.Sub(d)), nil
+				}
+			}
+		}
+		return nil, fmt.Errorf("xq: invalid dateTime arithmetic %s", op)
+	}
+	if dura, ok := a.(xtime.Duration); ok {
+		if durb, ok := b.(xtime.Duration); ok {
+			switch op {
+			case "+":
+				return Singleton(dura.Plus(durb)), nil
+			case "-":
+				return Singleton(dura.Plus(durb.Negated())), nil
+			}
+		}
+		return nil, fmt.Errorf("xq: invalid duration arithmetic %s", op)
+	}
+	x, y := NumberValue(a), NumberValue(b)
+	var res float64
+	switch op {
+	case "+":
+		res = x + y
+	case "-":
+		res = x - y
+	case "*":
+		res = x * y
+	case "div":
+		res = x / y
+	case "idiv":
+		if y == 0 {
+			return nil, fmt.Errorf("xq: integer division by zero")
+		}
+		res = math.Trunc(x / y)
+	case "mod":
+		res = math.Mod(x, y)
+	}
+	return Singleton(res), nil
+}
+
+// --- FLWOR ------------------------------------------------------------------
+
+func evalFLWOR(fl *FLWOR, ctx *Context) (Sequence, error) {
+	type tuple struct {
+		ctx  *Context
+		keys []Item
+	}
+	var tuples []tuple
+	var bindRest func(i int, c *Context) error
+	bindRest = func(i int, c *Context) error {
+		if i == len(fl.Clauses) {
+			if fl.Where != nil {
+				w, err := Eval(fl.Where, c)
+				if err != nil {
+					return err
+				}
+				if !EffectiveBool(w) {
+					return nil
+				}
+			}
+			var keys []Item
+			for _, spec := range fl.OrderBy {
+				kv, err := Eval(spec.Key, c)
+				if err != nil {
+					return err
+				}
+				if len(kv) > 0 {
+					keys = append(keys, Atomize(kv)[0])
+				} else {
+					keys = append(keys, nil)
+				}
+			}
+			tuples = append(tuples, tuple{ctx: c, keys: keys})
+			return nil
+		}
+		switch cl := fl.Clauses[i].(type) {
+		case ForClause:
+			seq, err := Eval(cl.In, c)
+			if err != nil {
+				return err
+			}
+			for idx, it := range seq {
+				cc := c.Bind(cl.Var, Singleton(it))
+				if cl.PosVar != "" {
+					cc = cc.Bind(cl.PosVar, Singleton(float64(idx+1)))
+				}
+				if err := bindRest(i+1, cc); err != nil {
+					return err
+				}
+			}
+			return nil
+		case LetClause:
+			seq, err := Eval(cl.E, c)
+			if err != nil {
+				return err
+			}
+			return bindRest(i+1, c.Bind(cl.Var, seq))
+		default:
+			return fmt.Errorf("xq: unknown FLWOR clause %T", cl)
+		}
+	}
+	if err := bindRest(0, ctx); err != nil {
+		return nil, err
+	}
+	if len(fl.OrderBy) > 0 {
+		at := ctx.Static.Now
+		sort.SliceStable(tuples, func(i, j int) bool {
+			for k, spec := range fl.OrderBy {
+				a, b := tuples[i].keys[k], tuples[j].keys[k]
+				if a == nil && b == nil {
+					continue
+				}
+				if a == nil {
+					return !spec.Descending
+				}
+				if b == nil {
+					return spec.Descending
+				}
+				c := compareAtomic(a, b, at)
+				if c == 0 {
+					continue
+				}
+				if spec.Descending {
+					return c > 0
+				}
+				return c < 0
+			}
+			return false
+		})
+	}
+	var out Sequence
+	for _, t := range tuples {
+		v, err := Eval(fl.Return, t.ctx)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, v...)
+	}
+	return out, nil
+}
+
+func evalQuantified(q *Quantified, ctx *Context) (Sequence, error) {
+	seq, err := Eval(q.In, ctx)
+	if err != nil {
+		return nil, err
+	}
+	for _, it := range seq {
+		v, err := Eval(q.Satisfies, ctx.Bind(q.Var, Singleton(it)))
+		if err != nil {
+			return nil, err
+		}
+		sat := EffectiveBool(v)
+		if q.Every && !sat {
+			return Singleton(false), nil
+		}
+		if !q.Every && sat {
+			return Singleton(true), nil
+		}
+	}
+	return Singleton(q.Every), nil
+}
+
+// evalModule registers the prologue's function declarations in a derived
+// static environment, then evaluates the body. Declared functions may
+// call each other and themselves (recursion), and shadow builtins but
+// not runtime-registered functions of the same name.
+func evalModule(m *Module, ctx *Context) (Sequence, error) {
+	st := *ctx.Static
+	merged := make(map[string]Func, len(st.Funcs)+len(m.Funcs))
+	for _, fd := range m.Funcs {
+		merged[fd.Name] = makeUserFunc(fd)
+	}
+	for k, v := range st.Funcs {
+		merged[k] = v
+	}
+	st.Funcs = merged
+	child := *ctx
+	child.Static = &st
+	return Eval(m.Body, &child)
+}
+
+// makeUserFunc closes a declaration into a callable: parameters become
+// the only variable bindings visible in the body (standard XQuery
+// function scoping).
+func makeUserFunc(fd FuncDecl) Func {
+	return func(ctx *Context, args []Sequence) (Sequence, error) {
+		if len(args) != len(fd.Params) {
+			return nil, fmt.Errorf("xq: %s() wants %d argument(s), got %d", fd.Name, len(fd.Params), len(args))
+		}
+		c := &Context{Static: ctx.Static}
+		for i, p := range fd.Params {
+			c = c.Bind(p, args[i])
+		}
+		return Eval(fd.Body, c)
+	}
+}
+
+func evalCall(call *Call, ctx *Context) (Sequence, error) {
+	fn := lookupFunc(ctx, call.Name)
+	if fn == nil {
+		return nil, fmt.Errorf("xq: unknown function %s()", call.Name)
+	}
+	args := make([]Sequence, len(call.Args))
+	for i, a := range call.Args {
+		v, err := Eval(a, ctx)
+		if err != nil {
+			return nil, err
+		}
+		args[i] = v
+	}
+	return fn(ctx, args)
+}
+
+func lookupFunc(ctx *Context, name string) Func {
+	if ctx.Static.Funcs != nil {
+		if f, ok := ctx.Static.Funcs[name]; ok {
+			return f
+		}
+	}
+	return builtins[name]
+}
+
+// --- constructors -----------------------------------------------------------
+
+func evalElemCtor(ct *ElemCtor, ctx *Context) (Sequence, error) {
+	name := ct.Name
+	if ct.NameExpr != nil {
+		v, err := Eval(ct.NameExpr, ctx)
+		if err != nil {
+			return nil, err
+		}
+		if len(v) == 0 {
+			return nil, fmt.Errorf("xq: computed element name is empty")
+		}
+		name = StringValue(Atomize(v)[0])
+	}
+	el := xmldom.NewElement(name)
+	for _, ac := range ct.Attrs {
+		val, err := evalAttrParts(ac.Parts, ctx)
+		if err != nil {
+			return nil, err
+		}
+		el.SetAttr(ac.Name, val)
+	}
+	var content Sequence
+	for _, ce := range ct.Content {
+		v, err := Eval(ce, ctx)
+		if err != nil {
+			return nil, err
+		}
+		content = append(content, v...)
+	}
+	appendContent(el, content)
+	return Singleton(el), nil
+}
+
+// appendContent realizes XQuery constructor content: attribute items set
+// attributes, nodes are deep-copied in, adjacent atomics join into one
+// space-separated text node.
+func appendContent(el *xmldom.Node, content Sequence) {
+	var pendingAtomic []string
+	flush := func() {
+		if len(pendingAtomic) > 0 {
+			el.AppendChild(xmldom.NewText(joinStrings(pendingAtomic)))
+			pendingAtomic = nil
+		}
+	}
+	for _, it := range content {
+		switch v := it.(type) {
+		case AttrItem:
+			flush()
+			el.SetAttr(v.Name, v.Value)
+		case *xmldom.Node:
+			flush()
+			if v.Type == xmldom.DocumentNode {
+				for _, c := range v.Children {
+					el.AppendChild(c.Clone())
+				}
+			} else {
+				el.AppendChild(v.Clone())
+			}
+		default:
+			pendingAtomic = append(pendingAtomic, StringValue(it))
+		}
+	}
+	flush()
+}
+
+func joinStrings(parts []string) string {
+	out := ""
+	for i, p := range parts {
+		if i > 0 {
+			out += " "
+		}
+		out += p
+	}
+	return out
+}
+
+func joinAtomics(seq Sequence) string {
+	return joinStrings(Strings(seq))
+}
+
+func evalAttrParts(parts []Expr, ctx *Context) (string, error) {
+	out := ""
+	for _, p := range parts {
+		if lit, ok := p.(*Literal); ok {
+			if s, isStr := lit.Val.(string); isStr {
+				out += s
+				continue
+			}
+		}
+		v, err := Eval(p, ctx)
+		if err != nil {
+			return "", err
+		}
+		out += joinAtomics(Atomize(v))
+	}
+	return out, nil
+}
+
+// --- temporal projections -----------------------------------------------
+
+func evalIntervalProj(ip *IntervalProj, ctx *Context) (Sequence, error) {
+	base, err := Eval(ip.E, ctx)
+	if err != nil {
+		return nil, err
+	}
+	from, err := evalTimeEndpoint(ip.From, ctx)
+	if err != nil {
+		return nil, err
+	}
+	to := from
+	if ip.To != nil {
+		to, err = evalTimeEndpoint(ip.To, ctx)
+		if err != nil {
+			return nil, err
+		}
+	}
+	window := xtime.NewInterval(from, to)
+	nodes := Nodes(base)
+	projected := temporal.IntervalProjection(nodes, window, ctx.Static.Now, ctx.Static.Holes)
+	out := FromNodes(projected)
+	// non-node items pass through a projection untouched only if they are
+	// dateTimes inside the window; others are dropped (projection is a
+	// node operation)
+	return out, nil
+}
+
+func evalTimeEndpoint(e Expr, ctx *Context) (xtime.DateTime, error) {
+	v, err := Eval(e, ctx)
+	if err != nil {
+		return xtime.DateTime{}, err
+	}
+	if len(v) == 0 {
+		return xtime.DateTime{}, fmt.Errorf("xq: empty interval endpoint %s", e.String())
+	}
+	dt, ok := DateTimeValue(Atomize(v)[0])
+	if !ok {
+		return xtime.DateTime{}, fmt.Errorf("xq: interval endpoint %s is not a dateTime", e.String())
+	}
+	return dt, nil
+}
+
+func evalVersionProj(vp *VersionProj, ctx *Context) (Sequence, error) {
+	base, err := Eval(vp.E, ctx)
+	if err != nil {
+		return nil, err
+	}
+	window := xtime.VersionInterval{}
+	fromN, fromLast, err := evalVersionEndpoint(vp.From, ctx)
+	if err != nil {
+		return nil, err
+	}
+	window.From, window.FromLast = fromN, fromLast
+	if vp.To == nil {
+		window.To, window.ToLast = fromN, fromLast
+	} else {
+		toN, toLast, err := evalVersionEndpoint(vp.To, ctx)
+		if err != nil {
+			return nil, err
+		}
+		window.To, window.ToLast = toN, toLast
+	}
+	nodes := Nodes(base)
+	projected := temporal.VersionProjection(nodes, window, ctx.Static.Now, ctx.Static.Holes)
+	return FromNodes(projected), nil
+}
+
+func evalVersionEndpoint(e Expr, ctx *Context) (int, bool, error) {
+	if _, ok := e.(*LastMarker); ok {
+		return 0, true, nil
+	}
+	v, err := Eval(e, ctx)
+	if err != nil {
+		return 0, false, err
+	}
+	if len(v) == 0 {
+		return 0, false, fmt.Errorf("xq: empty version endpoint %s", e.String())
+	}
+	n := NumberValue(Atomize(v)[0])
+	if math.IsNaN(n) {
+		return 0, false, fmt.Errorf("xq: version endpoint %s is not a number", e.String())
+	}
+	return int(n), false, nil
+}

@@ -1,0 +1,78 @@
+package xq
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"xcql/internal/xmldom"
+)
+
+// TestQueryParserNeverPanics: arbitrary query text may be rejected but
+// must never panic the parser.
+func TestQueryParserNeverPanics(t *testing.T) {
+	f := func(data []byte) bool {
+		_, _ = Parse(string(data))
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestQueryParserNeverPanicsOnTokenSoup biases toward valid tokens glued
+// together in invalid ways.
+func TestQueryParserNeverPanicsOnTokenSoup(t *testing.T) {
+	pieces := []string{
+		"for", "$x", "in", "return", "let", ":=", "where", "if", "(", ")",
+		"then", "else", "some", "satisfies", "and", "or", "=", "<", ">",
+		"/", "//", "@id", "*", "[", "]", "?", "#", ",", "1", `"s"`,
+		"now", "start", "last", "PT1M", "2003-01-01", "stream", "<a>", "</a>",
+		"{", "}", "element", "attribute", "declare", "function", ".", "div",
+	}
+	f := func(picks []uint8) bool {
+		var b strings.Builder
+		for _, p := range picks {
+			b.WriteString(pieces[int(p)%len(pieces)])
+			b.WriteByte(' ')
+		}
+		_, _ = Parse(b.String())
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 3000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestEvalNeverPanicsOnParsedSoup: anything that parses must either
+// evaluate or return an error, never panic.
+func TestEvalNeverPanicsOnParsedSoup(t *testing.T) {
+	pieces := []string{
+		"1", `"s"`, "$doc", "(", ")", "+", "-", "*", "div", ",",
+		"count", "sum", "/account", "//status", "[1]", "?[now]", "#[1]",
+		"now", "start", "= 1", "and 1", "or 0",
+	}
+	doc := "<r><a>1</a></r>"
+	f := func(picks []uint8) bool {
+		var b strings.Builder
+		for _, p := range picks {
+			b.WriteString(pieces[int(p)%len(pieces)])
+			b.WriteByte(' ')
+		}
+		e, err := Parse(b.String())
+		if err != nil {
+			return true
+		}
+		static := &Static{Now: evalAt}
+		ctx := NewContext(static).Bind("doc", Singleton(mustDoc(doc)))
+		_, _ = Eval(e, ctx)
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func mustDoc(src string) Item {
+	return xmldom.MustParseString(src).Root()
+}

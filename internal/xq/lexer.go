@@ -1,0 +1,268 @@
+package xq
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"xcql/internal/xtime"
+)
+
+// TokenKind classifies lexer output.
+type TokenKind uint8
+
+const (
+	tokEOF      TokenKind = iota
+	tokName               // identifier / contextual keyword
+	tokVar                // $name (Text holds the name without $)
+	tokString             // quoted string literal
+	tokNumber             // numeric literal
+	tokDateTime           // ISO-8601 dateTime or date literal
+	tokDuration           // ISO-8601 duration literal (PT1M …)
+	tokSym                // punctuation; Text holds the symbol, e.g. "//" ":="
+)
+
+// Token is one lexical unit.
+type Token struct {
+	Kind TokenKind
+	Text string
+	Num  float64
+	Pos  int // byte offset in the source
+}
+
+func (t Token) String() string {
+	switch t.Kind {
+	case tokEOF:
+		return "end of query"
+	case tokString:
+		return fmt.Sprintf("%q", t.Text)
+	default:
+		return fmt.Sprintf("%q", t.Text)
+	}
+}
+
+// lexer scans the query source. It supports position reset so the parser
+// can switch into raw mode for direct element constructors.
+type lexer struct {
+	src string
+	pos int
+}
+
+func (l *lexer) errf(pos int, format string, args ...any) error {
+	line, col := 1, 1
+	for i := 0; i < pos && i < len(l.src); i++ {
+		if l.src[i] == '\n' {
+			line++
+			col = 1
+		} else {
+			col++
+		}
+	}
+	return fmt.Errorf("xq: %d:%d: %s", line, col, fmt.Sprintf(format, args...))
+}
+
+func (l *lexer) skipSpaceAndComments() error {
+	for l.pos < len(l.src) {
+		c := l.src[l.pos]
+		if c == ' ' || c == '\t' || c == '\n' || c == '\r' {
+			l.pos++
+			continue
+		}
+		// XQuery smiley comments (: … :), nestable
+		if c == '(' && l.pos+1 < len(l.src) && l.src[l.pos+1] == ':' {
+			depth := 1
+			start := l.pos
+			l.pos += 2
+			for l.pos < len(l.src) && depth > 0 {
+				if strings.HasPrefix(l.src[l.pos:], "(:") {
+					depth++
+					l.pos += 2
+				} else if strings.HasPrefix(l.src[l.pos:], ":)") {
+					depth--
+					l.pos += 2
+				} else {
+					l.pos++
+				}
+			}
+			if depth > 0 {
+				return l.errf(start, "unterminated comment")
+			}
+			continue
+		}
+		return nil
+	}
+	return nil
+}
+
+// next scans one token.
+func (l *lexer) next() (Token, error) {
+	if err := l.skipSpaceAndComments(); err != nil {
+		return Token{}, err
+	}
+	if l.pos >= len(l.src) {
+		return Token{Kind: tokEOF, Pos: l.pos}, nil
+	}
+	start := l.pos
+	c := l.src[l.pos]
+	switch {
+	case c == '$':
+		l.pos++
+		name := l.scanNameChars()
+		if name == "" {
+			return Token{}, l.errf(start, "expected variable name after '$'")
+		}
+		return Token{Kind: tokVar, Text: name, Pos: start}, nil
+	case c == '"' || c == '\'':
+		return l.scanString(c)
+	case c >= '0' && c <= '9':
+		return l.scanNumberOrDateTime()
+	case isNameStart(c):
+		name := l.scanNameChars()
+		if xtime.LooksLikeDuration(name) {
+			return Token{Kind: tokDuration, Text: name, Pos: start}, nil
+		}
+		return Token{Kind: tokName, Text: name, Pos: start}, nil
+	}
+	// punctuation, longest match first
+	two := ""
+	if l.pos+1 < len(l.src) {
+		two = l.src[l.pos : l.pos+2]
+	}
+	switch two {
+	case "//", "!=", "<=", ">=", ":=", "..":
+		l.pos += 2
+		return Token{Kind: tokSym, Text: two, Pos: start}, nil
+	}
+	switch c {
+	case '(', ')', '[', ']', '{', '}', ',', '.', '/', '@', '*', '+', '-', '=', '<', '>', '?', '#', ';', ':':
+		l.pos++
+		return Token{Kind: tokSym, Text: string(c), Pos: start}, nil
+	}
+	return Token{}, l.errf(start, "unexpected character %q", string(c))
+}
+
+func (l *lexer) scanNameChars() string {
+	start := l.pos
+	for l.pos < len(l.src) {
+		c := l.src[l.pos]
+		if isNameStart(c) || (c >= '0' && c <= '9') || c == '-' || c == '.' {
+			// '-' and '.' are name chars in XML but ambiguous with
+			// operators; accept them only when tightly followed by a name
+			// char (the XQuery convention requires spaces around binary
+			// minus between names).
+			if c == '-' || c == '.' {
+				if l.pos+1 >= len(l.src) || !isNameInner(l.src[l.pos+1]) {
+					break
+				}
+				// "now-PT1H" / "start-…" are arithmetic on the temporal
+				// constants, not hyphenated names (§2 window syntax)
+				if c == '-' {
+					if got := l.src[start:l.pos]; got == "now" || got == "start" {
+						break
+					}
+				}
+			}
+			l.pos++
+			continue
+		}
+		break
+	}
+	return l.src[start:l.pos]
+}
+
+func isNameStart(c byte) bool {
+	return c >= 'a' && c <= 'z' || c >= 'A' && c <= 'Z' || c == '_' || c >= 0x80
+}
+
+func isNameInner(c byte) bool {
+	return isNameStart(c) || c >= '0' && c <= '9'
+}
+
+func (l *lexer) scanString(quote byte) (Token, error) {
+	start := l.pos
+	l.pos++
+	var b strings.Builder
+	for l.pos < len(l.src) {
+		c := l.src[l.pos]
+		if c == quote {
+			// doubled quote is an escaped quote in XQuery
+			if l.pos+1 < len(l.src) && l.src[l.pos+1] == quote {
+				b.WriteByte(quote)
+				l.pos += 2
+				continue
+			}
+			l.pos++
+			return Token{Kind: tokString, Text: b.String(), Pos: start}, nil
+		}
+		b.WriteByte(c)
+		l.pos++
+	}
+	return Token{}, l.errf(start, "unterminated string literal")
+}
+
+// scanNumberOrDateTime distinguishes 2003-11-01(Thh:mm:ss)? from plain
+// numbers by shape.
+func (l *lexer) scanNumberOrDateTime() (Token, error) {
+	start := l.pos
+	rest := l.src[start:]
+	if n := dateTimeLen(rest); n > 0 {
+		lit := rest[:n]
+		l.pos += n
+		if _, err := xtime.Parse(lit); err != nil {
+			return Token{}, l.errf(start, "bad dateTime literal %q", lit)
+		}
+		return Token{Kind: tokDateTime, Text: lit, Pos: start}, nil
+	}
+	for l.pos < len(l.src) {
+		c := l.src[l.pos]
+		if c >= '0' && c <= '9' || c == '.' {
+			l.pos++
+			continue
+		}
+		if (c == 'e' || c == 'E') && l.pos+1 < len(l.src) &&
+			(l.src[l.pos+1] == '+' || l.src[l.pos+1] == '-' || l.src[l.pos+1] >= '0' && l.src[l.pos+1] <= '9') {
+			l.pos += 2
+			continue
+		}
+		break
+	}
+	lit := l.src[start:l.pos]
+	f, err := strconv.ParseFloat(lit, 64)
+	if err != nil {
+		return Token{}, l.errf(start, "bad number %q", lit)
+	}
+	return Token{Kind: tokNumber, Text: lit, Num: f, Pos: start}, nil
+}
+
+// dateTimeLen returns the length of a leading dateTime/date literal in s,
+// or 0 when s does not start with one. Shape: dddd-dd-dd optionally
+// followed by Tdd:dd:dd.
+func dateTimeLen(s string) int {
+	match := func(pattern string) bool {
+		if len(s) < len(pattern) {
+			return false
+		}
+		for i := 0; i < len(pattern); i++ {
+			switch pattern[i] {
+			case 'd':
+				if s[i] < '0' || s[i] > '9' {
+					return false
+				}
+			default:
+				if s[i] != pattern[i] {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	const date = "dddd-dd-dd"
+	const full = "dddd-dd-ddTdd:dd:dd"
+	if match(full) {
+		return len(full)
+	}
+	if match(date) {
+		return len(date)
+	}
+	return 0
+}

@@ -1,0 +1,407 @@
+package xq
+
+import (
+	"testing"
+)
+
+func TestParseLiterals(t *testing.T) {
+	cases := map[string]string{
+		`"hello"`:             `*xq.Literal`,
+		`'single'`:            `*xq.Literal`,
+		`42`:                  `*xq.Literal`,
+		`3.14`:                `*xq.Literal`,
+		`2003-11-01`:          `*xq.Literal`,
+		`2003-10-23T12:23:34`: `*xq.Literal`,
+		`PT1M`:                `*xq.Literal`,
+		`P1Y2M`:               `*xq.Literal`,
+		`now`:                 `*xq.Literal`,
+		`start`:               `*xq.Literal`,
+		`true()`:              `*xq.Literal`,
+		`false()`:             `*xq.Literal`,
+		`$x`:                  `*xq.VarRef`,
+		`.`:                   `*xq.ContextItem`,
+		`()`:                  `*xq.SeqExpr`,
+	}
+	for src, wantType := range cases {
+		e, err := Parse(src)
+		if err != nil {
+			t.Errorf("Parse(%q): %v", src, err)
+			continue
+		}
+		if got := typeName(e); got != wantType {
+			t.Errorf("Parse(%q) = %s, want %s", src, got, wantType)
+		}
+	}
+}
+
+func typeName(e Expr) string { return typeOf(e) }
+
+func typeOf(e Expr) string {
+	switch e.(type) {
+	case *Literal:
+		return "*xq.Literal"
+	case *VarRef:
+		return "*xq.VarRef"
+	case *ContextItem:
+		return "*xq.ContextItem"
+	case *SeqExpr:
+		return "*xq.SeqExpr"
+	case *Path:
+		return "*xq.Path"
+	case *Filter:
+		return "*xq.Filter"
+	case *BinOp:
+		return "*xq.BinOp"
+	case *If:
+		return "*xq.If"
+	case *FLWOR:
+		return "*xq.FLWOR"
+	case *Quantified:
+		return "*xq.Quantified"
+	case *Call:
+		return "*xq.Call"
+	case *ElemCtor:
+		return "*xq.ElemCtor"
+	case *IntervalProj:
+		return "*xq.IntervalProj"
+	case *VersionProj:
+		return "*xq.VersionProj"
+	case *StreamRef:
+		return "*xq.StreamRef"
+	default:
+		return "other"
+	}
+}
+
+func TestParsePaths(t *testing.T) {
+	e := MustParse(`$a/transaction/amount`)
+	p, ok := e.(*Path)
+	if !ok || len(p.Steps) != 2 {
+		t.Fatalf("parsed %v", e)
+	}
+	if p.Steps[0].Name != "transaction" || p.Steps[1].Name != "amount" {
+		t.Fatalf("steps = %v", p.Steps)
+	}
+
+	e = MustParse(`$a//event`)
+	p = e.(*Path)
+	if p.Steps[0].Axis != AxisDescendant {
+		t.Fatal("// should be descendant axis")
+	}
+
+	e = MustParse(`$a/@id`)
+	p = e.(*Path)
+	if p.Steps[0].Axis != AxisAttribute || p.Steps[0].Name != "id" {
+		t.Fatalf("attr step = %+v", p.Steps[0])
+	}
+
+	e = MustParse(`$a/*`)
+	p = e.(*Path)
+	if p.Steps[0].Name != "*" {
+		t.Fatal("wildcard step")
+	}
+
+	e = MustParse(`$a/text()`)
+	p = e.(*Path)
+	if p.Steps[0].Name != "text()" {
+		t.Fatal("text() step")
+	}
+}
+
+func TestParsePredicates(t *testing.T) {
+	e := MustParse(`$a/transaction[amount > 1000]/vendor`)
+	p := e.(*Path)
+	if len(p.Steps) != 2 || len(p.Steps[0].Preds) != 1 {
+		t.Fatalf("parse: %s", e)
+	}
+	e = MustParse(`$a[1]`)
+	if f, ok := e.(*Filter); !ok || len(f.Preds) != 1 {
+		t.Fatalf("filter on var: %v", e)
+	}
+	// stacked predicates
+	e = MustParse(`$a/t[x][y]`)
+	p = e.(*Path)
+	if len(p.Steps[0].Preds) != 2 {
+		t.Fatal("stacked predicates")
+	}
+}
+
+func TestParseProjections(t *testing.T) {
+	e := MustParse(`$a/transaction?[2003-11-01,2003-12-01]`)
+	ip, ok := e.(*IntervalProj)
+	if !ok || ip.To == nil {
+		t.Fatalf("interval proj: %v", e)
+	}
+	e = MustParse(`$a/creditLimit?[now]`)
+	ip = e.(*IntervalProj)
+	if ip.To != nil {
+		t.Fatal("point interval should have nil To")
+	}
+	e = MustParse(`$a/t#[1,10]`)
+	vp := e.(*VersionProj)
+	if vp.To == nil {
+		t.Fatal("version range")
+	}
+	e = MustParse(`$a/t#[last]`)
+	vp = e.(*VersionProj)
+	if _, ok := vp.From.(*LastMarker); !ok {
+		t.Fatalf("last marker: %v", vp.From)
+	}
+	// projection followed by predicate and path
+	e = MustParse(`$a/transaction?[now-PT1H,now][status = "charged"]/amount`)
+	if _, ok := e.(*Path); !ok {
+		t.Fatalf("postfix chain = %T", e)
+	}
+}
+
+func TestParseStreamRef(t *testing.T) {
+	e := MustParse(`stream("credit")//account`)
+	p, ok := e.(*Path)
+	if !ok {
+		t.Fatalf("got %T", e)
+	}
+	sr, ok := p.Base.(*StreamRef)
+	if !ok || sr.Name != "credit" {
+		t.Fatalf("base = %v", p.Base)
+	}
+}
+
+func TestParseFLWOR(t *testing.T) {
+	e := MustParse(`for $a at $i in $xs let $b := $a/x where $b > 1 order by $b descending return $b`)
+	fl := e.(*FLWOR)
+	if len(fl.Clauses) != 2 {
+		t.Fatalf("clauses = %d", len(fl.Clauses))
+	}
+	fc := fl.Clauses[0].(ForClause)
+	if fc.Var != "a" || fc.PosVar != "i" {
+		t.Fatalf("for clause = %+v", fc)
+	}
+	if fl.Where == nil || len(fl.OrderBy) != 1 || !fl.OrderBy[0].Descending {
+		t.Fatal("where/order by")
+	}
+}
+
+func TestParseFLWORMultipleBindingsWithoutComma(t *testing.T) {
+	// the paper writes consecutive bindings without commas (example 3, §2)
+	src := `for $v in $a//event
+	            $r in $b//event
+	        return $v`
+	fl := MustParse(src).(*FLWOR)
+	if len(fl.Clauses) != 2 {
+		t.Fatalf("clauses = %d", len(fl.Clauses))
+	}
+	// and with commas
+	fl = MustParse(`for $v in $a, $r in $b return $v`).(*FLWOR)
+	if len(fl.Clauses) != 2 {
+		t.Fatal("comma-separated bindings")
+	}
+}
+
+func TestParseQuantified(t *testing.T) {
+	e := MustParse(`some $a in $xs satisfies $a = 1`)
+	q := e.(*Quantified)
+	if q.Every || q.Var != "a" {
+		t.Fatalf("quantified = %+v", q)
+	}
+	e = MustParse(`every $a in $xs satisfies $a = 1`)
+	if !e.(*Quantified).Every {
+		t.Fatal("every")
+	}
+}
+
+func TestParseDirectConstructor(t *testing.T) {
+	e := MustParse(`<warning level="high">{ $s/id }</warning>`)
+	ct := e.(*ElemCtor)
+	if ct.Name != "warning" || len(ct.Attrs) != 1 || len(ct.Content) != 1 {
+		t.Fatalf("ctor = %+v", ct)
+	}
+	// nested elements with embedded expressions in attributes
+	e = MustParse(`<set_traffic_light ID="{$t/id}"><status>green</status></set_traffic_light>`)
+	ct = e.(*ElemCtor)
+	if len(ct.Attrs) != 1 || len(ct.Attrs[0].Parts) != 1 {
+		t.Fatalf("attr parts = %+v", ct.Attrs)
+	}
+	inner, ok := ct.Content[0].(*ElemCtor)
+	if !ok || inner.Name != "status" {
+		t.Fatalf("nested = %+v", ct.Content)
+	}
+	// unquoted attribute expression, as written in the paper
+	e = MustParse(`<account id={$a/@id}>{$a/customer}</account>`)
+	ct = e.(*ElemCtor)
+	if len(ct.Attrs) != 1 {
+		t.Fatalf("unquoted attr: %+v", ct)
+	}
+	// self-closing
+	e = MustParse(`<empty/>`)
+	if e.(*ElemCtor).Name != "empty" {
+		t.Fatal("self-closing")
+	}
+}
+
+func TestParseComputedConstructors(t *testing.T) {
+	e := MustParse(`element account { attribute id {$a/@id}, $a/customer }`)
+	ct := e.(*ElemCtor)
+	if ct.Name != "account" || len(ct.Content) != 2 {
+		t.Fatalf("computed = %+v", ct)
+	}
+	if _, ok := ct.Content[0].(*AttrCtorExpr); !ok {
+		t.Fatal("attribute ctor in content")
+	}
+	e = MustParse(`element {name($e)} {$e/@*}`)
+	if e.(*ElemCtor).NameExpr == nil {
+		t.Fatal("computed name")
+	}
+}
+
+func TestParsePaperQuery1(t *testing.T) {
+	src := `for $a in stream("credit")//account
+	where sum($a/transaction?[2003-11-01,2003-12-01]
+	          [status = "charged"]/amount) >=
+	      $a/creditLimit?[now]
+	return
+	  <account>
+	    { attribute id {$a/@id},
+	      $a/customer,
+	      $a/creditLimit }
+	  </account>`
+	e, err := Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fl, ok := e.(*FLWOR)
+	if !ok || fl.Where == nil {
+		t.Fatalf("query 1 = %T", e)
+	}
+}
+
+func TestParsePaperQuery2(t *testing.T) {
+	src := `for $a in stream("credit")//account
+	where sum($a/transaction?[now-PT1H,now]
+	          [status = "charged"]/amount) >=
+	      max($a/creditLimit?[now] * 0.9, 5000)
+	return
+	  <alert>
+	    <account id={$a/@id}>
+	      {$a/customer}
+	    </account>
+	  </alert>`
+	if _, err := Parse(src); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestParsePaperCoincidenceQuery(t *testing.T) {
+	src := `for $r in stream("radar1")//event,
+	            $s in stream("radar2")//event
+	                  ?[vtFrom($r)-PT1S,vtTo($r)+PT1S]
+	where $r/frequency = $s/frequency
+	return
+	  <position>
+	    { triangulate($r/angle,$s/angle) }
+	  </position>`
+	if _, err := Parse(src); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestParsePaperSYNACKQuery(t *testing.T) {
+	src := `for $s in stream("gsyn")//packet
+	where not (some $a in stream("ack")//packet
+	                      ?[vtFrom($s)+PT1M,now]
+	           satisfies $s/id = $a/id
+	           and $s/srcIP = $a/destIP
+	           and $s/srcPort = $a/destPort)
+	return <warning> { $s/id } </warning>`
+	if _, err := Parse(src); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestParseIfAndArithmetic(t *testing.T) {
+	e := MustParse(`if ($x > 1) then $x * 2 else $x div 2`)
+	if _, ok := e.(*If); !ok {
+		t.Fatalf("if = %T", e)
+	}
+	e = MustParse(`1 + 2 * 3`)
+	b := e.(*BinOp)
+	if b.Op != "+" {
+		t.Fatal("precedence: * should bind tighter than +")
+	}
+	e = MustParse(`now - PT1H`)
+	if e.(*BinOp).Op != "-" {
+		t.Fatal("dateTime arithmetic")
+	}
+	e = MustParse(`-$x + 1`)
+	if e.(*BinOp).Op != "+" {
+		t.Fatal("unary minus")
+	}
+}
+
+func TestParseAllenComparisons(t *testing.T) {
+	for _, op := range []string{"before", "after", "meets", "overlaps", "during"} {
+		e := MustParse(`$a ` + op + ` $b`)
+		if b, ok := e.(*BinOp); !ok || b.Op != op {
+			t.Errorf("%s: %v", op, e)
+		}
+	}
+}
+
+func TestParseComments(t *testing.T) {
+	e := MustParse(`(: leading :) 1 + (: nested (: deep :) :) 2`)
+	if e.(*BinOp).Op != "+" {
+		t.Fatal("comments not skipped")
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	cases := []string{
+		``,
+		`for $x return $x`,        // missing in
+		`for $x in $y`,            // missing return
+		`if ($x) then 1`,          // missing else
+		`$a/`,                     // dangling slash
+		`<a>`,                     // unterminated ctor
+		`<a></b>`,                 // mismatched ctor
+		`"unterminated`,           //
+		`some $x in $y`,           // missing satisfies
+		`$a?[1,2,3]`,              // 3-part projection — parses [1][,2][,3]? should fail at ,3
+		`1 +`,                     // dangling operator
+		`(1, 2`,                   // unbalanced paren
+		`element {1} 2`,           // malformed computed ctor
+		`let $x = 1 return $x`,    // = instead of :=
+		`(: unterminated comment`, //
+		`$a/transaction?[`,        //
+	}
+	for _, src := range cases {
+		if _, err := Parse(src); err == nil {
+			t.Errorf("Parse(%q) unexpectedly succeeded", src)
+		}
+	}
+}
+
+func TestStringRoundTripsThroughParser(t *testing.T) {
+	// Property: the String() rendering of a parsed expression parses to
+	// an expression with the same rendering (idempotent pretty-print).
+	srcs := []string{
+		`for $a in stream("credit")//account where $a/x = 1 return $a`,
+		`$a/transaction?[now-PT1H,now][status = "charged"]/amount`,
+		`<alert><account id={$a/@id}>{$a/customer}</account></alert>`,
+		`some $a in $xs satisfies $a = 1`,
+		`if ($x > 1) then "big" else "small"`,
+		`sum($a/amount) >= max($b, 5000)`,
+		`$a/t#[1,10]`,
+		`element account { attribute id {$a/@id} }`,
+	}
+	for _, src := range srcs {
+		e1 := MustParse(src)
+		s1 := e1.String()
+		e2, err := Parse(s1)
+		if err != nil {
+			t.Errorf("re-parse of %q -> %q failed: %v", src, s1, err)
+			continue
+		}
+		if s2 := e2.String(); s2 != s1 {
+			t.Errorf("render not stable:\n 1: %s\n 2: %s", s1, s2)
+		}
+	}
+}

@@ -1,0 +1,135 @@
+package xtime
+
+import (
+	"testing"
+	"time"
+)
+
+var eval = time.Date(2003, time.November, 15, 12, 0, 0, 0, time.UTC)
+
+func TestParseAbsolute(t *testing.T) {
+	d, err := Parse("2003-10-23T12:23:34")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !d.IsAbsolute() {
+		t.Fatal("expected absolute")
+	}
+	want := time.Date(2003, time.October, 23, 12, 23, 34, 0, time.UTC)
+	if !d.Time().Equal(want) {
+		t.Fatalf("got %v want %v", d.Time(), want)
+	}
+}
+
+func TestParseBareDate(t *testing.T) {
+	d, err := Parse("2003-11-01")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := time.Date(2003, time.November, 1, 0, 0, 0, 0, time.UTC)
+	if !d.Time().Equal(want) {
+		t.Fatalf("got %v want %v", d.Time(), want)
+	}
+}
+
+func TestParseSymbolic(t *testing.T) {
+	now, err := Parse("now")
+	if err != nil || !now.IsNow() {
+		t.Fatalf("now: %v %v", now, err)
+	}
+	start, err := Parse("start")
+	if err != nil || !start.IsStart() {
+		t.Fatalf("start: %v %v", start, err)
+	}
+}
+
+func TestParseRejectsGarbage(t *testing.T) {
+	for _, s := range []string{"", "hello", "2003-13-45T99:99:99", "20031023"} {
+		if _, err := Parse(s); err == nil {
+			t.Errorf("Parse(%q) unexpectedly succeeded", s)
+		}
+	}
+}
+
+func TestResolveNow(t *testing.T) {
+	if got := Now().Resolve(eval); !got.Equal(eval) {
+		t.Fatalf("now resolved to %v", got)
+	}
+}
+
+func TestResolveStartBeforeEverything(t *testing.T) {
+	if !Start().Resolve(eval).Before(time.Date(1900, 1, 1, 0, 0, 0, 0, time.UTC)) {
+		t.Fatal("start should resolve before year 1900")
+	}
+}
+
+func TestCompareOrdering(t *testing.T) {
+	a := MustParse("2003-01-01T00:00:00")
+	b := MustParse("2003-06-01T00:00:00")
+	if a.Compare(b, eval) >= 0 {
+		t.Fatal("a should be before b")
+	}
+	if !Start().Before(a, eval) {
+		t.Fatal("start before all absolute values")
+	}
+	if !a.Before(Now(), eval) {
+		t.Fatal("past absolute value before now")
+	}
+	if Now().Compare(Now(), eval) != 0 {
+		t.Fatal("now == now")
+	}
+}
+
+func TestMinMax(t *testing.T) {
+	a := MustParse("2003-01-01T00:00:00")
+	b := MustParse("2003-06-01T00:00:00")
+	if a.Min(b, eval) != a || a.Max(b, eval) != b {
+		t.Fatal("min/max of absolutes")
+	}
+	if got := Now().Min(a, eval); got != a {
+		t.Fatalf("min(now, past) = %v", got)
+	}
+	if got := Now().Max(a, eval); !got.IsNow() {
+		t.Fatalf("max(now, past) = %v", got)
+	}
+}
+
+func TestAddDuration(t *testing.T) {
+	a := MustParse("2003-10-23T12:23:34")
+	got := a.Add(MustParseDuration("PT1M"))
+	want := time.Date(2003, time.October, 23, 12, 24, 34, 0, time.UTC)
+	if !got.Time().Equal(want) {
+		t.Fatalf("got %v want %v", got.Time(), want)
+	}
+}
+
+func TestShiftedNow(t *testing.T) {
+	d := Now().Sub(MustParseDuration("PT1H"))
+	got := d.Resolve(eval)
+	want := eval.Add(-time.Hour)
+	if !got.Equal(want) {
+		t.Fatalf("now-PT1H resolved to %v, want %v", got, want)
+	}
+	if d.String() != "now-PT1H" {
+		t.Fatalf("String() = %q", d.String())
+	}
+}
+
+func TestShiftAccumulates(t *testing.T) {
+	d := Now().Sub(MustParseDuration("PT30M")).Sub(MustParseDuration("PT30M"))
+	if got, want := d.Resolve(eval), eval.Add(-time.Hour); !got.Equal(want) {
+		t.Fatalf("got %v want %v", got, want)
+	}
+}
+
+func TestStringRoundTrip(t *testing.T) {
+	for _, s := range []string{"now", "start", "2003-10-23T12:23:34"} {
+		d := MustParse(s)
+		if d.String() != s {
+			t.Errorf("String(%q) = %q", s, d.String())
+		}
+		if r := MustParse(d.String()); r.Compare(d, eval) != 0 {
+			t.Errorf("round trip of %q changed value", s)
+		}
+	}
+}

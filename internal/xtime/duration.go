@@ -1,0 +1,261 @@
+package xtime
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// Duration is an ISO-8601 / XML Schema duration of the form
+// PnYnMnDTnHnMnS. Year and month components do not have a fixed length in
+// seconds, so a Duration is kept in components and applied to instants with
+// calendar arithmetic (time.Time.AddDate), exactly like xs:duration.
+type Duration struct {
+	Years, Months, Days int
+	Hours, Minutes      int
+	Seconds             float64
+	Negative            bool
+}
+
+// ParseDuration parses an ISO-8601 duration literal such as "P1Y2M3DT4H5M6S",
+// "PT1M", "P30D" or "-PT1.5S". At least one component must be present.
+func ParseDuration(s string) (Duration, error) {
+	orig := s
+	var d Duration
+	s = strings.TrimSpace(s)
+	if strings.HasPrefix(s, "-") {
+		d.Negative = true
+		s = s[1:]
+	}
+	if !strings.HasPrefix(s, "P") {
+		return d, fmt.Errorf("xtime: duration %q must start with P", orig)
+	}
+	s = s[1:]
+	datePart, timePart, hasT := strings.Cut(s, "T")
+	if hasT && timePart == "" {
+		return d, fmt.Errorf("xtime: duration %q has T with no time components", orig)
+	}
+	seen := 0
+	take := func(part string, dst func(num string) error, designators string) (string, error) {
+		for len(part) > 0 {
+			i := 0
+			for i < len(part) && (part[i] >= '0' && part[i] <= '9' || part[i] == '.') {
+				i++
+			}
+			if i == 0 || i == len(part) {
+				return "", fmt.Errorf("xtime: malformed duration %q", orig)
+			}
+			des := part[i]
+			if !strings.ContainsRune(designators, rune(des)) {
+				return "", fmt.Errorf("xtime: unexpected designator %q in duration %q", des, orig)
+			}
+			if err := dst(part[:i+1]); err != nil {
+				return "", err
+			}
+			seen++
+			part = part[i+1:]
+			// each designator may appear at most once and in order; enforce
+			// by shrinking the allowed set
+			idx := strings.IndexByte(designators, des)
+			designators = designators[idx+1:]
+		}
+		return part, nil
+	}
+	setDate := func(tok string) error {
+		n, err := strconv.Atoi(tok[:len(tok)-1])
+		if err != nil {
+			return fmt.Errorf("xtime: bad number in duration %q: %v", orig, err)
+		}
+		switch tok[len(tok)-1] {
+		case 'Y':
+			d.Years = n
+		case 'M':
+			d.Months = n
+		case 'D':
+			d.Days = n
+		}
+		return nil
+	}
+	setTime := func(tok string) error {
+		num := tok[:len(tok)-1]
+		switch tok[len(tok)-1] {
+		case 'H', 'M':
+			n, err := strconv.Atoi(num)
+			if err != nil {
+				return fmt.Errorf("xtime: bad number in duration %q: %v", orig, err)
+			}
+			if tok[len(tok)-1] == 'H' {
+				d.Hours = n
+			} else {
+				d.Minutes = n
+			}
+		case 'S':
+			f, err := strconv.ParseFloat(num, 64)
+			if err != nil {
+				return fmt.Errorf("xtime: bad seconds in duration %q: %v", orig, err)
+			}
+			d.Seconds = f
+		}
+		return nil
+	}
+	if _, err := take(datePart, setDate, "YMD"); err != nil {
+		return Duration{}, err
+	}
+	if hasT {
+		if _, err := take(timePart, setTime, "HMS"); err != nil {
+			return Duration{}, err
+		}
+	}
+	if seen == 0 {
+		return Duration{}, fmt.Errorf("xtime: duration %q has no components", orig)
+	}
+	return d, nil
+}
+
+// MustParseDuration is ParseDuration that panics on error.
+func MustParseDuration(s string) Duration {
+	d, err := ParseDuration(s)
+	if err != nil {
+		panic(err)
+	}
+	return d
+}
+
+// IsZero reports whether every component is zero.
+func (d Duration) IsZero() bool {
+	return d.Years == 0 && d.Months == 0 && d.Days == 0 &&
+		d.Hours == 0 && d.Minutes == 0 && d.Seconds == 0
+}
+
+// Negated returns the duration with the opposite sign.
+func (d Duration) Negated() Duration {
+	if d.IsZero() {
+		return d
+	}
+	d.Negative = !d.Negative
+	return d
+}
+
+// Plus returns the component-wise sum d+o. Mixed signs are combined by
+// converting both to signed components.
+func (d Duration) Plus(o Duration) Duration {
+	sd, so := d.signed(), o.signed()
+	sum := Duration{
+		Years:   sd.Years + so.Years,
+		Months:  sd.Months + so.Months,
+		Days:    sd.Days + so.Days,
+		Hours:   sd.Hours + so.Hours,
+		Minutes: sd.Minutes + so.Minutes,
+		Seconds: sd.Seconds + so.Seconds,
+	}
+	return sum.normalizeSign()
+}
+
+// signed pushes the Negative flag into the components.
+func (d Duration) signed() Duration {
+	if !d.Negative {
+		return d
+	}
+	return Duration{
+		Years: -d.Years, Months: -d.Months, Days: -d.Days,
+		Hours: -d.Hours, Minutes: -d.Minutes, Seconds: -d.Seconds,
+	}
+}
+
+// normalizeSign extracts a common sign when all non-zero components agree;
+// otherwise the value is kept as-is with Negative=false (mixed-sign
+// durations arise only from arithmetic and still apply correctly).
+func (d Duration) normalizeSign() Duration {
+	neg, pos := false, false
+	for _, v := range []float64{float64(d.Years), float64(d.Months), float64(d.Days), float64(d.Hours), float64(d.Minutes), d.Seconds} {
+		if v < 0 {
+			neg = true
+		}
+		if v > 0 {
+			pos = true
+		}
+	}
+	if neg && !pos {
+		return Duration{
+			Years: -d.Years, Months: -d.Months, Days: -d.Days,
+			Hours: -d.Hours, Minutes: -d.Minutes, Seconds: -d.Seconds,
+			Negative: true,
+		}
+	}
+	return d
+}
+
+// AddTo applies the duration to an instant using calendar arithmetic for
+// the year/month/day components and exact arithmetic for the rest.
+func (d Duration) AddTo(t time.Time) time.Time {
+	s := d.signed()
+	t = t.AddDate(s.Years, s.Months, s.Days)
+	t = t.Add(time.Duration(s.Hours) * time.Hour)
+	t = t.Add(time.Duration(s.Minutes) * time.Minute)
+	t = t.Add(time.Duration(s.Seconds * float64(time.Second)))
+	return t
+}
+
+// Approx converts to a time.Duration using the XML Schema convention of
+// 30-day months and 365-day years. Only used for ordering durations, never
+// for applying them to instants.
+func (d Duration) Approx() time.Duration {
+	s := d.signed()
+	day := 24 * time.Hour
+	return time.Duration(s.Years)*365*day +
+		time.Duration(s.Months)*30*day +
+		time.Duration(s.Days)*day +
+		time.Duration(s.Hours)*time.Hour +
+		time.Duration(s.Minutes)*time.Minute +
+		time.Duration(s.Seconds*float64(time.Second))
+}
+
+// String formats the duration in canonical ISO-8601 form, e.g. "PT1M".
+// The zero duration formats as "PT0S".
+func (d Duration) String() string {
+	if d.IsZero() {
+		return "PT0S"
+	}
+	var b strings.Builder
+	if d.Negative {
+		b.WriteByte('-')
+	}
+	b.WriteByte('P')
+	if d.Years != 0 {
+		fmt.Fprintf(&b, "%dY", d.Years)
+	}
+	if d.Months != 0 {
+		fmt.Fprintf(&b, "%dM", d.Months)
+	}
+	if d.Days != 0 {
+		fmt.Fprintf(&b, "%dD", d.Days)
+	}
+	if d.Hours != 0 || d.Minutes != 0 || d.Seconds != 0 {
+		b.WriteByte('T')
+		if d.Hours != 0 {
+			fmt.Fprintf(&b, "%dH", d.Hours)
+		}
+		if d.Minutes != 0 {
+			fmt.Fprintf(&b, "%dM", d.Minutes)
+		}
+		if d.Seconds != 0 {
+			b.WriteString(strconv.FormatFloat(d.Seconds, 'f', -1, 64))
+			b.WriteByte('S')
+		}
+	}
+	return b.String()
+}
+
+// LooksLikeDuration reports whether s is lexically an ISO-8601 duration
+// literal (used by the XCQL lexer to classify tokens such as PT1M).
+func LooksLikeDuration(s string) bool {
+	if strings.HasPrefix(s, "-") {
+		s = s[1:]
+	}
+	if len(s) < 3 || s[0] != 'P' {
+		return false
+	}
+	_, err := ParseDuration(s)
+	return err == nil
+}

@@ -1,0 +1,125 @@
+package xtime
+
+import (
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestParseDurationForms(t *testing.T) {
+	cases := []struct {
+		in   string
+		want Duration
+	}{
+		{"PT1M", Duration{Minutes: 1}},
+		{"PT1S", Duration{Seconds: 1}},
+		{"PT1.5S", Duration{Seconds: 1.5}},
+		{"P1Y2M3DT4H5M6S", Duration{Years: 1, Months: 2, Days: 3, Hours: 4, Minutes: 5, Seconds: 6}},
+		{"P30D", Duration{Days: 30}},
+		{"-PT1H", Duration{Hours: 1, Negative: true}},
+		{"P1Y", Duration{Years: 1}},
+		{"PT24H", Duration{Hours: 24}},
+	}
+	for _, c := range cases {
+		got, err := ParseDuration(c.in)
+		if err != nil {
+			t.Errorf("ParseDuration(%q): %v", c.in, err)
+			continue
+		}
+		if got != c.want {
+			t.Errorf("ParseDuration(%q) = %+v, want %+v", c.in, got, c.want)
+		}
+	}
+}
+
+func TestParseDurationRejects(t *testing.T) {
+	for _, s := range []string{"", "P", "PT", "1M", "PT1X", "P1H", "PTM", "P1M2Y", "PP1D"} {
+		if _, err := ParseDuration(s); err == nil {
+			t.Errorf("ParseDuration(%q) unexpectedly succeeded", s)
+		}
+	}
+}
+
+func TestDurationAddTo(t *testing.T) {
+	base := time.Date(2003, time.January, 31, 0, 0, 0, 0, time.UTC)
+	got := MustParseDuration("P1M").AddTo(base)
+	// Go calendar arithmetic: Jan 31 + 1 month normalizes to Mar 3/2 per
+	// AddDate; just assert it moved forward by roughly a month.
+	if !got.After(base.Add(27 * 24 * time.Hour)) {
+		t.Fatalf("P1M moved %v -> %v", base, got)
+	}
+	if got := MustParseDuration("PT1M").AddTo(base); got.Sub(base) != time.Minute {
+		t.Fatalf("PT1M added %v", got.Sub(base))
+	}
+}
+
+func TestDurationNegatedAndPlus(t *testing.T) {
+	d := MustParseDuration("PT1H")
+	if got := d.Plus(d.Negated()); !got.IsZero() {
+		t.Fatalf("d + (-d) = %+v", got)
+	}
+	sum := MustParseDuration("PT30M").Plus(MustParseDuration("PT45M"))
+	if sum.Approx() != 75*time.Minute {
+		t.Fatalf("sum = %v", sum.Approx())
+	}
+}
+
+func TestDurationStringCanonical(t *testing.T) {
+	cases := map[string]string{
+		"PT1M":    "PT1M",
+		"P1Y2M":   "P1Y2M",
+		"-PT1H":   "-PT1H",
+		"PT0S":    "PT0S",
+		"PT1.5S":  "PT1.5S",
+		"P3DT12H": "P3DT12H",
+	}
+	for in, want := range cases {
+		if got := MustParseDuration(in).String(); got != want {
+			t.Errorf("String(%s) = %q, want %q", in, got, want)
+		}
+	}
+}
+
+func TestDurationStringRoundTrip(t *testing.T) {
+	f := func(years, months, days, hours, mins uint8, neg bool) bool {
+		d := Duration{
+			Years: int(years % 50), Months: int(months % 12), Days: int(days % 31),
+			Hours: int(hours % 24), Minutes: int(mins % 60),
+			Negative: neg,
+		}
+		if d.IsZero() {
+			return true
+		}
+		back, err := ParseDuration(d.String())
+		return err == nil && back == d
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDurationAddToInverse(t *testing.T) {
+	// Property: for durations without year/month components, adding then
+	// subtracting returns the original instant exactly.
+	f := func(days, hours, mins uint8, secs uint16) bool {
+		d := Duration{Days: int(days % 100), Hours: int(hours), Minutes: int(mins), Seconds: float64(secs)}
+		base := time.Date(2003, time.June, 15, 10, 30, 0, 0, time.UTC)
+		return d.Negated().AddTo(d.AddTo(base)).Equal(base)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestLooksLikeDuration(t *testing.T) {
+	for _, s := range []string{"PT1M", "P1Y", "-PT2H"} {
+		if !LooksLikeDuration(s) {
+			t.Errorf("LooksLikeDuration(%q) = false", s)
+		}
+	}
+	for _, s := range []string{"P", "Price", "PT", "2003-10-23T12:23:34"} {
+		if LooksLikeDuration(s) {
+			t.Errorf("LooksLikeDuration(%q) = true", s)
+		}
+	}
+}

@@ -1,0 +1,269 @@
+// Package xcql is a data stream management system for historical XML
+// data — a Go implementation of Bose & Fegaras, "Data Stream Management
+// for Historical XML Data" (SIGMOD 2004).
+//
+// A stream is a finite XML document followed by a continuous stream of
+// updates. Documents travel as Hole-Filler fragments: each fragment
+// carries a unique filler id, the tag-structure id of its top element and
+// a validTime; holes inside a fragment refer to child fragments, and
+// re-sending a filler id creates a new version. Clients reassemble a
+// virtual temporal view of the whole history — which is never
+// materialized unless asked — and run XCQL: XQuery extended with interval
+// projections e?[t1,t2], version projections e#[v1,v2], vtFrom/vtTo
+// lifespan accessors and the constants start and now.
+//
+// Queries compile to one of three physical plans over the fragment
+// store: CaQ (materialize, then query), QaC (query fragments directly,
+// crossing holes on demand) and QaC+ (jump to the needed fragments via
+// the tsid index). All three produce identical results; they differ —
+// dramatically, see the benchmarks — in how much of the document they
+// touch.
+//
+// Quick start:
+//
+//	engine := xcql.NewEngine()
+//	store, _ := engine.AddDocumentStream("credit", structure, doc)
+//	q, _ := engine.Compile(`for $a in stream("credit")//account
+//	                        where sum($a/transaction?[now-PT1H,now]/amount) > 5000
+//	                        return $a/customer`, xcql.QaCPlus)
+//	res, _ := q.Eval(time.Now())
+package xcql
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"xcql/internal/fragment"
+	"xcql/internal/stream"
+	"xcql/internal/tagstruct"
+	"xcql/internal/temporal"
+	ixcql "xcql/internal/xcql"
+	"xcql/internal/xmldom"
+	"xcql/internal/xq"
+	"xcql/internal/xtime"
+)
+
+// Re-exported types. The implementation lives in internal packages; these
+// aliases are the supported surface.
+type (
+	// Mode selects the physical plan: CaQ, QaC or QaCPlus.
+	Mode = ixcql.Mode
+	// Query is a compiled XCQL query bound to an engine.
+	Query = ixcql.Query
+	// TagStructure is the structural summary driving fragmentation and
+	// translation (§4.1 of the paper).
+	TagStructure = tagstruct.Structure
+	// Tag is one node of a TagStructure.
+	Tag = tagstruct.Tag
+	// TagType is snapshot, temporal or event.
+	TagType = tagstruct.TagType
+	// Fragment is one filler on the wire.
+	Fragment = fragment.Fragment
+	// Store is a client-side fragment repository.
+	Store = fragment.Store
+	// Fragmenter cuts documents into fragments along a TagStructure.
+	Fragmenter = fragment.Fragmenter
+	// Node is an XML tree node.
+	Node = xmldom.Node
+	// Sequence is a query result: an ordered sequence of items.
+	Sequence = xq.Sequence
+	// Item is one value of the data model (node, string, number, bool,
+	// dateTime or duration).
+	Item = xq.Item
+	// Func is a user-defined query function.
+	Func = xq.Func
+	// EvalContext is the dynamic context passed to user functions.
+	EvalContext = xq.Context
+	// Server multicasts a fragment stream to registered clients.
+	Server = stream.Server
+	// Client receives a fragment stream into a local store.
+	Client = stream.Client
+	// ContinuousQuery re-evaluates a query as fragments arrive.
+	ContinuousQuery = stream.ContinuousQuery
+	// Result is one evaluation of a continuous query.
+	Result = stream.Result
+	// DateTime is a time point, possibly the symbolic start or now.
+	DateTime = xtime.DateTime
+	// Duration is an ISO-8601 duration (PnYnMnDTnHnMnS).
+	Duration = xtime.Duration
+	// Interval is a closed time interval.
+	Interval = xtime.Interval
+)
+
+// Execution modes.
+const (
+	CaQ     = ixcql.CaQ
+	QaC     = ixcql.QaC
+	QaCPlus = ixcql.QaCPlus
+)
+
+// Tag types.
+const (
+	Snapshot = tagstruct.Snapshot
+	Temporal = tagstruct.Temporal
+	Event    = tagstruct.Event
+)
+
+// ParseMode parses a plan name ("CaQ", "QaC", "QaC+").
+func ParseMode(s string) (Mode, error) { return ixcql.ParseMode(s) }
+
+// Engine owns a set of named streams and compiles XCQL queries against
+// them. It is safe for concurrent use.
+type Engine struct {
+	rt *ixcql.Runtime
+}
+
+// NewEngine returns an empty engine.
+func NewEngine() *Engine { return &Engine{rt: ixcql.NewRuntime()} }
+
+// Runtime exposes the underlying compiler runtime for advanced use.
+func (e *Engine) Runtime() *ixcql.Runtime { return e.rt }
+
+// RegisterStore makes an existing fragment store queryable as
+// stream(name).
+func (e *Engine) RegisterStore(name string, st *Store) { e.rt.RegisterStream(name, st) }
+
+// Store returns the store registered under name, or nil.
+func (e *Engine) Store(name string) *Store { return e.rt.Store(name) }
+
+// AddDocumentStream fragments doc along the structure, loads the
+// fragments into a fresh store and registers it as stream(name). Sibling
+// elements of a temporal tag carrying vtFrom annotations are treated as
+// versions of one element, so a materialized temporal view round-trips.
+func (e *Engine) AddDocumentStream(name string, structure *TagStructure, doc *Node) (*Store, error) {
+	fr := fragment.NewFragmenter(structure)
+	fr.CoalesceVersions = true
+	frags, err := fr.Fragment(doc)
+	if err != nil {
+		return nil, err
+	}
+	st := fragment.NewStore(structure)
+	if err := st.AddAll(frags); err != nil {
+		return nil, err
+	}
+	e.rt.RegisterStream(name, st)
+	return st, nil
+}
+
+// AddEmptyStream registers an empty store for a stream whose fragments
+// will arrive later (e.g. from a network client).
+func (e *Engine) AddEmptyStream(name string, structure *TagStructure) *Store {
+	st := fragment.NewStore(structure)
+	e.rt.RegisterStream(name, st)
+	return st
+}
+
+// AttachClient registers a stream client's store under the client's
+// stream name.
+func (e *Engine) AttachClient(c *Client) { e.rt.RegisterStream(c.Name(), c.Store()) }
+
+// RegisterFunc makes a user function callable from queries.
+func (e *Engine) RegisterFunc(name string, f Func) { e.rt.RegisterFunc(name, f) }
+
+// RegisterDoc makes a static document available to doc(uri).
+func (e *Engine) RegisterDoc(uri string, doc *Node) { e.rt.RegisterDoc(uri, doc) }
+
+// Compile parses and translates an XCQL query for the given mode.
+func (e *Engine) Compile(src string, mode Mode) (*Query, error) { return e.rt.Compile(src, mode) }
+
+// MustCompile compiles or panics.
+func (e *Engine) MustCompile(src string, mode Mode) *Query { return e.rt.MustCompile(src, mode) }
+
+// Eval compiles and runs a query once at the evaluation instant, using
+// the QaC+ plan.
+func (e *Engine) Eval(src string, at time.Time) (Sequence, error) {
+	q, err := e.Compile(src, QaCPlus)
+	if err != nil {
+		return nil, err
+	}
+	return q.Eval(at)
+}
+
+// MaterializeView reconstructs the full temporal view of a stream at the
+// evaluation instant (the paper's temporalize, §5).
+func (e *Engine) MaterializeView(name string, at time.Time) (*Node, error) {
+	st := e.rt.Store(name)
+	if st == nil {
+		return nil, fmt.Errorf("xcql: stream %q is not registered", name)
+	}
+	return temporal.Temporalize(st, at)
+}
+
+// --- constructors re-exported from the internal packages ------------------
+
+// ParseTagStructure parses the <stream:structure> wire form.
+func ParseTagStructure(src string) (*TagStructure, error) { return tagstruct.ParseString(src) }
+
+// MustParseTagStructure parses or panics.
+func MustParseTagStructure(src string) *TagStructure { return tagstruct.MustParseString(src) }
+
+// InferTagStructure derives a tag structure from a sample document.
+func InferTagStructure(doc *Node) (*TagStructure, error) { return tagstruct.Infer(doc) }
+
+// ParseDocument parses an XML document.
+func ParseDocument(src string) (*Node, error) { return xmldom.ParseString(src) }
+
+// MustParseDocument parses or panics.
+func MustParseDocument(src string) *Node { return xmldom.MustParseString(src) }
+
+// NewFragmenter returns a fragmenter for the structure.
+func NewFragmenter(s *TagStructure) *Fragmenter { return fragment.NewFragmenter(s) }
+
+// NewStore returns an empty fragment store.
+func NewStore(s *TagStructure) *Store { return fragment.NewStore(s) }
+
+// NewFragment builds a fragment.
+func NewFragment(fillerID, tsid int, validTime time.Time, payload *Node) *Fragment {
+	return fragment.New(fillerID, tsid, validTime, payload)
+}
+
+// NewHole builds a <hole id tsid/> placeholder element.
+func NewHole(fillerID, tsid int) *Node { return fragment.NewHole(fillerID, tsid) }
+
+// ParseFragment parses the <filler> wire form.
+func ParseFragment(src string) (*Fragment, error) { return fragment.Parse(src) }
+
+// NewServer creates a broadcast server for a named stream.
+func NewServer(name string, s *TagStructure) *Server { return stream.NewServer(name, s) }
+
+// NewClient creates a receive-only stream client.
+func NewClient(name string, s *TagStructure) *Client { return stream.NewClient(name, s) }
+
+// DialTCP registers with a TCP stream server and returns a consuming
+// client.
+func DialTCP(addr string) (*Client, error) { return stream.DialTCP(addr) }
+
+// NewContinuousQuery wraps a compiled query for continuous evaluation.
+func NewContinuousQuery(q *Query, onResult func(Result)) *ContinuousQuery {
+	return stream.NewContinuousQuery(q, onResult)
+}
+
+// ParseDateTime parses an XCQL time literal ("now", "start", ISO-8601).
+func ParseDateTime(s string) (DateTime, error) { return xtime.Parse(s) }
+
+// ParseDuration parses an ISO-8601 duration literal such as PT1M.
+func ParseDuration(s string) (Duration, error) { return xtime.ParseDuration(s) }
+
+// FormatSequence renders a result sequence, one item per line: nodes as
+// XML, atomics as their string value.
+func FormatSequence(seq Sequence) string {
+	var b strings.Builder
+	for i, it := range seq {
+		if i > 0 {
+			b.WriteByte('\n')
+		}
+		if n, ok := it.(*Node); ok {
+			b.WriteString(n.String())
+		} else {
+			b.WriteString(xq.StringValue(it))
+		}
+	}
+	return b.String()
+}
+
+// StringValue returns the string value of one item.
+func StringValue(it Item) string { return xq.StringValue(it) }
+
+// NumberValue converts an item to a number (NaN when unconvertible).
+func NumberValue(it Item) float64 { return xq.NumberValue(it) }
