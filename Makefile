@@ -1,0 +1,30 @@
+# Tier-1 gate: `make check` is what CI (and every PR) must keep green.
+GO       ?= go
+FUZZTIME ?= 10s
+
+.PHONY: check vet build test race fuzz-smoke bench
+
+check: vet build race fuzz-smoke
+
+vet:
+	$(GO) vet ./...
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+# A short deterministic shake of each fuzz target; longer runs are
+# `make fuzz-smoke FUZZTIME=5m`. `-run '^$'` skips the unit tests that
+# already ran under `race`.
+fuzz-smoke:
+	$(GO) test ./internal/fragment -run '^$$' -fuzz '^FuzzWireDecode$$' -fuzztime $(FUZZTIME)
+	$(GO) test ./internal/stream -run '^$$' -fuzz '^FuzzReadFrame$$' -fuzztime $(FUZZTIME)
+	$(GO) test ./internal/stream -run '^$$' -fuzz '^FuzzFrameRoundTrip$$' -fuzztime $(FUZZTIME)
+
+bench:
+	$(GO) test -bench=. -benchmem

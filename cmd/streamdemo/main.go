@@ -3,19 +3,27 @@
 // registers once, receives the fragment stream, and evaluates a
 // continuous XCQL query as fragments arrive.
 //
-//	streamdemo            # one server, one client, a short burst of events
-//	streamdemo -events 50 # more charge events
+//	streamdemo                # one server, one client, a short burst of events
+//	streamdemo -events 50     # more charge events
+//	streamdemo -chaos         # inject drops/dups/reorders/resets into the wire
+//	streamdemo -chaos -seed 7 # a different (but reproducible) fault schedule
+//
+// In -chaos mode the transport deliberately misbehaves under a seeded
+// RNG; the run then demonstrates the reliability layer: gap events are
+// printed as they are detected, the client reconnects and resumes, and
+// the final report shows the delivery counters plus whether the stream
+// ended healthy or explicitly degraded.
 package main
 
 import (
 	"flag"
 	"fmt"
 	"log"
+	"math/rand"
 	"net"
 	"time"
 
 	"xcql"
-	"xcql/internal/stream"
 )
 
 const structureXML = `<stream:structure>
@@ -34,6 +42,8 @@ const structureXML = `<stream:structure>
 
 func main() {
 	events := flag.Int("events", 10, "number of charge events to stream")
+	chaos := flag.Bool("chaos", false, "inject transport faults: drops, duplicates, reorders, mid-frame resets")
+	seed := flag.Int64("seed", 1, "RNG seed for the fault schedule and reconnect jitter")
 	flag.Parse()
 
 	structure := xcql.MustParseTagStructure(structureXML)
@@ -43,15 +53,34 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	go func() { _ = stream.ServeTCP(server, ln) }()
+	var injector *xcql.FaultInjector
+	serveOpts := xcql.ServeOptions{}
+	if *chaos {
+		injector = xcql.NewFaultInjector(xcql.FaultPlan{
+			Seed:        *seed,
+			DropProb:    0.10,
+			DupProb:     0.05,
+			ReorderProb: 0.05,
+			ResetEvery:  13,
+		})
+		serveOpts.Faults = injector
+		fmt.Printf("chaos mode: seed=%d (drop 10%%, dup 5%%, reorder 5%%, reset every 13 frames)\n", *seed)
+	}
+	go func() { _ = xcql.ServeTCPOptions(server, ln, serveOpts) }()
 	fmt.Println("server listening on", ln.Addr())
 
 	// --- client side -------------------------------------------------------
-	client, err := xcql.DialTCP(ln.Addr().String())
+	client, err := xcql.Dial(ln.Addr().String(), xcql.DialOptions{
+		Reconnect:      true,
+		InitialBackoff: 20 * time.Millisecond,
+		MaxBackoff:     time.Second,
+		Rand:           rand.New(rand.NewSource(*seed)),
+	})
 	if err != nil {
 		log.Fatal(err)
 	}
 	defer client.Close()
+	client.OnGap(func(g xcql.Gap) { fmt.Printf("  !! %s\n", g) })
 	fmt.Printf("client registered with stream %q (structure delivered in the handshake)\n", client.Name())
 
 	engine := xcql.NewEngine()
@@ -89,13 +118,42 @@ func main() {
 		time.Sleep(20 * time.Millisecond)
 	}
 
-	// let the client drain, then report
-	time.Sleep(300 * time.Millisecond)
+	// Orderly shutdown: the eos frame triggers the client's final catch-up
+	// pass, which re-registers and replays anything the faults ate. Wait
+	// until the client's counters have been still for a moment — checking
+	// Missing/Lag alone would race the eos frame itself.
+	server.Close()
+	deadline := time.Now().Add(5 * time.Second)
+	prev, stableSince := client.Stats(), time.Now()
+	for time.Now().Before(deadline) {
+		time.Sleep(20 * time.Millisecond)
+		if st := client.Stats(); st != prev {
+			prev, stableSince = st, time.Now()
+			continue
+		}
+		if time.Since(stableSince) >= 300*time.Millisecond {
+			break
+		}
+	}
+
 	res, err := engine.Eval(`count(stream("credit")//transaction)`, time.Now().UTC())
 	if err != nil {
 		log.Fatal(err)
 	}
-	fmt.Printf("client store now holds %s transactions (%d fragments; %d delivery drops)\n",
-		xcql.FormatSequence(res), client.Store().Len(), server.Dropped())
-	server.Close()
+	fmt.Printf("client store now holds %s transactions (%d fragments)\n",
+		xcql.FormatSequence(res), client.Store().Len())
+
+	srv, cli := server.Stats(), client.Stats()
+	fmt.Printf("server: published=%d broker-drops=%d retained=%d latest-seq=%d\n",
+		srv.Published, srv.Dropped, srv.Retained, srv.LatestSeq)
+	fmt.Printf("client: received=%d duplicates=%d replayed=%d gaps=%d missing=%d lost=%d reconnects=%d last-seq=%d\n",
+		cli.Received, cli.Duplicates, cli.Replayed, cli.Gaps, cli.Missing, cli.Lost, cli.Reconnects, cli.LastSeq)
+	if injector != nil {
+		fmt.Println("injected:", injector)
+	}
+	if reason, degraded := client.Degraded(); degraded {
+		fmt.Println("stream DEGRADED:", reason)
+	} else {
+		fmt.Println("stream healthy: every published fragment accounted for")
+	}
 }

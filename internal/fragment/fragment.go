@@ -33,6 +33,7 @@ const (
 	AttrID        = "id"
 	AttrTSID      = "tsid"
 	AttrValidTime = "validTime"
+	AttrSeq       = "seq"
 )
 
 // Fragment is one filler as it travels on the stream.
@@ -40,6 +41,13 @@ type Fragment struct {
 	FillerID  int
 	TSID      int
 	ValidTime time.Time
+	// Seq is the per-stream delivery sequence number stamped by the
+	// publishing server (1, 2, 3, …). Zero means "unsequenced" — the
+	// fragment has not passed through a server yet — and is omitted from
+	// the wire form. Clients use the sequence to detect gaps and
+	// duplicates on lossy transports; it is transport metadata, not part
+	// of the Hole-Filler identity (FillerID/TSID/ValidTime).
+	Seq uint64
 	// Payload is the single element carried by the filler. The Fragment
 	// owns it; callers must Clone before mutating.
 	Payload *xmldom.Node
@@ -53,13 +61,26 @@ func New(fillerID, tsid int, validTime time.Time, payload *xmldom.Node) *Fragmen
 	return &Fragment{FillerID: fillerID, TSID: tsid, ValidTime: validTime, Payload: payload}
 }
 
+// WithSeq returns a shallow copy of f stamped with the given sequence
+// number. The payload is shared (fragments are read-only once published),
+// so stamping is cheap enough to do once per Publish.
+func (f *Fragment) WithSeq(seq uint64) *Fragment {
+	g := *f
+	g.Seq = seq
+	return &g
+}
+
 // ToXML renders the wire form
-// <filler id="…" tsid="…" validTime="…">payload</filler>.
+// <filler id="…" tsid="…" validTime="…" seq="…">payload</filler>.
+// The seq attribute is present only on sequenced fragments.
 func (f *Fragment) ToXML() *xmldom.Node {
 	el := xmldom.NewElement(FillerTag)
 	el.SetAttr(AttrID, strconv.Itoa(f.FillerID))
 	el.SetAttr(AttrTSID, strconv.Itoa(f.TSID))
 	el.SetAttr(AttrValidTime, f.ValidTime.UTC().Format(xtime.Layout))
+	if f.Seq > 0 {
+		el.SetAttr(AttrSeq, strconv.FormatUint(f.Seq, 10))
+	}
 	if f.Payload != nil {
 		el.AppendChild(f.Payload.Clone())
 	}
@@ -99,11 +120,20 @@ func FromXML(el *xmldom.Node) (*Fragment, error) {
 	if err != nil || !vt.IsAbsolute() {
 		return nil, fmt.Errorf("fragment: filler %d has bad validTime %q", id, vtStr)
 	}
+	var seq uint64
+	if seqStr, ok := el.Attr(AttrSeq); ok {
+		seq, err = strconv.ParseUint(seqStr, 10, 64)
+		if err != nil || seq == 0 {
+			return nil, fmt.Errorf("fragment: bad seq %q on filler %d", seqStr, id)
+		}
+	}
 	kids := el.ElementChildren()
 	if len(kids) != 1 {
 		return nil, fmt.Errorf("fragment: filler %d must carry exactly one element, has %d", id, len(kids))
 	}
-	return New(id, tsid, vt.Time(), kids[0].Clone()), nil
+	f := New(id, tsid, vt.Time(), kids[0].Clone())
+	f.Seq = seq
+	return f, nil
 }
 
 // Parse parses the compact wire string form.

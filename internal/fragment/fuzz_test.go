@@ -1,0 +1,42 @@
+package fragment
+
+import (
+	"testing"
+)
+
+// FuzzWireDecode throws arbitrary bytes at the filler wire parser. Two
+// properties must hold: the parser never panics on hostile input (a
+// streaming client feeds it whatever arrives on the socket), and any
+// input it does accept re-encodes to a wire form that parses back to the
+// same fragment — decode∘encode is a fixpoint, which is what lets the
+// stream layer relay fragments without semantic drift.
+func FuzzWireDecode(f *testing.F) {
+	f.Add([]byte(`<filler id="0" tsid="1" validTime="2003-01-02T00:00:00"><doc/></filler>`))
+	f.Add([]byte(`<filler id="7" tsid="5" validTime="2003-01-02T10:00:00" seq="42"><event><value>33</value></event></filler>`))
+	f.Add([]byte(`<filler id="3" tsid="2" validTime="2003-02-28T23:59:59"><account><hole id="4" tsid="5"/></account></filler>`))
+	f.Add([]byte(`<filler id="1" tsid="1" validTime="now"><x/></filler>`))
+	f.Add([]byte(`<filler id="-1" tsid="0" validTime=""><x/></filler>`))
+	f.Add([]byte(`<filler id="1" tsid="1" validTime="2003-01-02T00:00:00" seq="0"><x/></filler>`))
+	f.Add([]byte(`<notafiller/>`))
+	f.Add([]byte(`<filler id="1" tsid="1" validTime="2003-01-02T00:00:00"><a/><b/></filler>`))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		frag, err := Parse(string(data))
+		if err != nil {
+			return // rejection is fine; panicking is not
+		}
+		if frag.TSID <= 0 || frag.FillerID < 0 {
+			t.Fatalf("parser accepted invalid identity: %+v", frag)
+		}
+		again, err := Parse(frag.String())
+		if err != nil {
+			t.Fatalf("re-encoded form does not parse: %v\nwire: %s", err, frag.String())
+		}
+		if again.FillerID != frag.FillerID || again.TSID != frag.TSID ||
+			again.Seq != frag.Seq || !again.ValidTime.Equal(frag.ValidTime) {
+			t.Fatalf("round trip drifted:\n first %s\nsecond %s", frag, again)
+		}
+		if again.Payload.String() != frag.Payload.String() {
+			t.Fatalf("payload drifted:\n first %s\nsecond %s", frag.Payload, again.Payload)
+		}
+	})
+}

@@ -1,34 +1,112 @@
 package stream
 
 import (
+	"fmt"
 	"sync"
 
 	"xcql/internal/fragment"
 	"xcql/internal/tagstruct"
 )
 
+// maxTrackedMissing bounds the set of jumped-over sequence numbers the
+// client remembers in the hope of a late arrival or replay. A gap wider
+// than the bound is written off immediately as permanent loss instead of
+// growing the set without limit.
+const maxTrackedMissing = 4096
+
+// Gap describes a run of sequence numbers the client has not received —
+// fragments lost on the transport (which may still heal via reordering or
+// replay) or a resume position the server no longer retained (permanent).
+type Gap struct {
+	// [From, To] is the inclusive range of missing sequence numbers.
+	From, To uint64
+	// Reason distinguishes how the gap was discovered: "lost in transit"
+	// (a later fragment arrived first) or "unrecoverable: …" (the
+	// server's replay window had already slid past the resume position).
+	Reason string
+}
+
+// Missing returns the number of fragments the gap spans.
+func (g Gap) Missing() uint64 { return g.To - g.From + 1 }
+
+func (g Gap) String() string {
+	return fmt.Sprintf("gap [%d,%d] (%d fragments, %s)", g.From, g.To, g.Missing(), g.Reason)
+}
+
+// ClientStats is a point-in-time snapshot of a client's receive counters.
+type ClientStats struct {
+	// Received counts fragments applied to the store.
+	Received int64
+	// Duplicates counts sequenced fragments discarded because they had
+	// already been applied (transport duplicates and replay overlap).
+	Duplicates int64
+	// Replayed counts late arrivals that healed a previously detected
+	// gap (reordered frames and resumed replay).
+	Replayed int64
+	// Gaps is the number of gap events detected (including ones that
+	// later healed).
+	Gaps int
+	// Missing is the number of sequence numbers currently unaccounted
+	// for — detected as skipped but neither received nor written off.
+	Missing int
+	// Lost is the number of fragments known to be permanently
+	// unrecoverable (the server's replay window slid past them).
+	Lost uint64
+	// Reconnects counts successful re-registrations after a transport
+	// failure.
+	Reconnects int64
+	// LastSeq is the highest sequence number seen.
+	LastSeq uint64
+	// Lag is the distance between the server's latest advertised
+	// sequence number (learned at each handshake) and LastSeq — how far
+	// behind the client knows itself to be.
+	Lag uint64
+	// Degraded is the non-empty degradation reason while any fragment is
+	// missing or permanently lost: query results may silently miss the
+	// lost fillers.
+	Degraded string
+}
+
 // Client is a stream receiver: it feeds arriving fragments into a local
 // fragment store and notifies continuous queries. Clients are the
 // sophisticated side of the paper's architecture — all query processing
-// happens here.
+// happens here, including loss accounting: a receive-only client cannot
+// slow the transmitter down, but with sequenced fragments it can always
+// tell what it missed, re-request it on the next registration, and say
+// out loud what could not be recovered.
 type Client struct {
 	name  string
 	store *fragment.Store
 
-	mu        sync.Mutex
-	listeners []func(*fragment.Fragment)
-	errs      []error
-	done      chan struct{}
-	closeOnce sync.Once
+	mu           sync.Mutex
+	listeners    []func(*fragment.Fragment)
+	gapListeners []func(Gap)
+	errs         []error
+	done         chan struct{}
+	closeOnce    sync.Once
+
+	// reliability state, guarded by mu
+	lastSeq    uint64
+	baselined  bool            // lastSeq anchored by a handshake window
+	missing    map[uint64]bool // skipped seqs that may still heal
+	lost       uint64          // seqs written off as unrecoverable
+	latestSeen uint64          // server's latest seq from the last handshake
+	received   int64
+	duplicates int64
+	replayed   int64
+	reconnects int64
+	gaps       []Gap
+	degraded   string // sticky reason for permanent loss
 }
 
 // NewClient builds a client for a stream with the given tag structure
 // (obtained from the registration handshake).
 func NewClient(name string, structure *tagstruct.Structure) *Client {
 	return &Client{
-		name:  name,
-		store: fragment.NewStore(structure),
-		done:  make(chan struct{}),
+		name:    name,
+		store:   fragment.NewStore(structure),
+		missing: make(map[uint64]bool),
+		done:    make(chan struct{}),
 	}
 }
 
@@ -46,10 +124,59 @@ func (c *Client) OnFragment(fn func(*fragment.Fragment)) {
 	c.listeners = append(c.listeners, fn)
 }
 
+// OnGap registers a callback invoked whenever a sequence gap is detected
+// (lost fragments or an unrecoverable resume). Callbacks run on the
+// feeding goroutine, after the gap has been recorded. A gap may heal
+// later (reordered frame, resumed replay); the callback fires at
+// detection time regardless, so consumers can invalidate conservatively.
+func (c *Client) OnGap(fn func(Gap)) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.gapListeners = append(c.gapListeners, fn)
+}
+
 // Apply ingests one fragment and fans out notifications. Malformed
 // fragments are recorded (Errs) and skipped — a broadcast client cannot
-// ask for retransmission, so it must tolerate noise.
+// reject delivery, so it must tolerate noise.
+//
+// Sequenced fragments (Seq > 0) additionally pass loss accounting:
+//
+//   - a fragment that skips ahead records the skipped range as a Gap
+//     (the skipped seqs are remembered and may heal later);
+//   - a fragment whose seq is in the missing set heals it (late arrival
+//     via reordering or replay) and is applied;
+//   - any other already-seen seq is discarded as a duplicate.
+//
+// Unsequenced fragments (Seq == 0, e.g. hand-built in tests) bypass the
+// accounting entirely.
 func (c *Client) Apply(f *fragment.Fragment) {
+	var gap *Gap
+	if f.Seq > 0 {
+		c.mu.Lock()
+		switch {
+		case f.Seq > c.lastSeq:
+			// Without a baseline the first sequenced arrival just anchors
+			// the position (a late joiner legitimately starts mid-stream);
+			// with one, any skip is a real gap.
+			if (c.baselined || c.lastSeq > 0) && f.Seq > c.lastSeq+1 {
+				g := Gap{From: c.lastSeq + 1, To: f.Seq - 1, Reason: "lost in transit"}
+				c.markMissingLocked(g)
+				gap = &g
+			}
+			c.lastSeq = f.Seq
+		case c.missing[f.Seq]:
+			delete(c.missing, f.Seq)
+			c.replayed++
+		default:
+			c.duplicates++
+			c.mu.Unlock()
+			return
+		}
+		c.mu.Unlock()
+	}
+	if gap != nil {
+		c.notifyGap(*gap)
+	}
 	if err := c.store.Add(f); err != nil {
 		c.mu.Lock()
 		c.errs = append(c.errs, err)
@@ -57,12 +184,187 @@ func (c *Client) Apply(f *fragment.Fragment) {
 		return
 	}
 	c.mu.Lock()
+	c.received++
 	listeners := make([]func(*fragment.Fragment), len(c.listeners))
 	copy(listeners, c.listeners)
 	c.mu.Unlock()
 	for _, fn := range listeners {
 		fn(f)
 	}
+}
+
+// markMissingLocked records a detected gap: its seqs join the missing set
+// up to the tracking bound; the overflow is written off as lost. The
+// caller holds c.mu.
+func (c *Client) markMissingLocked(g Gap) {
+	c.gaps = append(c.gaps, g)
+	for s := g.From; s <= g.To; s++ {
+		if len(c.missing) >= maxTrackedMissing {
+			c.lost += g.To - s + 1
+			c.setDegradedLocked(fmt.Sprintf("degraded: %s (tracking bound exceeded)", g))
+			return
+		}
+		c.missing[s] = true
+	}
+}
+
+func (c *Client) setDegradedLocked(reason string) {
+	c.degraded = reason
+}
+
+func (c *Client) notifyGap(g Gap) {
+	c.mu.Lock()
+	fns := make([]func(Gap), len(c.gapListeners))
+	copy(fns, c.gapListeners)
+	c.mu.Unlock()
+	for _, fn := range fns {
+		fn(g)
+	}
+}
+
+// reportUnrecoverable records a permanently lost range discovered at
+// resume time: the server's replay window no longer covers it. Seqs in
+// the range the client had already received are not counted; outstanding
+// missing ones and never-seen ones are written off as lost.
+func (c *Client) reportUnrecoverable(g Gap) {
+	c.mu.Lock()
+	c.gaps = append(c.gaps, g)
+	for s := range c.missing {
+		if s >= g.From && s <= g.To {
+			delete(c.missing, s)
+			c.lost++
+		}
+	}
+	if g.To > c.lastSeq {
+		from := g.From
+		if from <= c.lastSeq {
+			from = c.lastSeq + 1
+		}
+		c.lost += g.To - from + 1
+		c.lastSeq = g.To
+	}
+	c.setDegradedLocked(fmt.Sprintf("degraded: %s", g))
+	c.mu.Unlock()
+	c.notifyGap(g)
+}
+
+// resumePos is the position a resumed registration should replay from:
+// the highest sequence number below which nothing is outstanding. When
+// gaps are pending this sits before them, so the server's replay heals
+// them (duplicate suppression discards the overlap).
+func (c *Client) resumePos() uint64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	pos := c.lastSeq
+	for s := range c.missing {
+		if s-1 < pos {
+			pos = s - 1
+		}
+	}
+	return pos
+}
+
+// outstanding reports whether the client knows of fragments it has not
+// received: pending gaps, or a handshake-advertised latest sequence it
+// has not reached.
+func (c *Client) outstanding() (missing int, behind uint64) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.latestSeen > c.lastSeq {
+		behind = c.latestSeen - c.lastSeq
+	}
+	return len(c.missing), behind
+}
+
+// setBaseline anchors the expected next sequence number from a
+// registration handshake: the replay will start at oldest, so anything
+// skipped from there on is a detectable gap — including a dropped or
+// reordered first frame, which an unanchored client would silently
+// mistake for a late join.
+func (c *Client) setBaseline(oldest uint64) {
+	c.mu.Lock()
+	c.baselined = true
+	if oldest > 0 && oldest-1 > c.lastSeq {
+		c.lastSeq = oldest - 1
+	}
+	c.mu.Unlock()
+}
+
+// noteReconnect bumps the reconnect counter (TCP transport).
+func (c *Client) noteReconnect() {
+	c.mu.Lock()
+	c.reconnects++
+	c.mu.Unlock()
+}
+
+// noteLatest records the server's latest sequence number as advertised in
+// a registration handshake; it feeds the Lag estimate and the
+// end-of-stream heal check.
+func (c *Client) noteLatest(seq uint64) {
+	c.mu.Lock()
+	if seq > c.latestSeen {
+		c.latestSeen = seq
+	}
+	c.mu.Unlock()
+}
+
+// LastSeq returns the highest sequence number applied so far.
+func (c *Client) LastSeq() uint64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.lastSeq
+}
+
+// Gaps returns the gaps detected so far, in detection order. Entries may
+// have healed since; Stats().Missing and Stats().Lost hold the current
+// balance.
+func (c *Client) Gaps() []Gap {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	out := make([]Gap, len(c.gaps))
+	copy(out, c.gaps)
+	return out
+}
+
+// Degraded reports whether the client is currently missing fragments —
+// permanently lost ones, or detected gaps that have not healed — and
+// why. A degraded client's query results may be missing the lost
+// fillers; consumers decide whether that is acceptable.
+func (c *Client) Degraded() (reason string, ok bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.degradedLocked()
+}
+
+func (c *Client) degradedLocked() (string, bool) {
+	if c.lost > 0 {
+		return c.degraded, true
+	}
+	if len(c.missing) > 0 {
+		return fmt.Sprintf("degraded: %d fragments missing (may heal on replay)", len(c.missing)), true
+	}
+	return "", false
+}
+
+// Stats returns a snapshot of the client's receive counters.
+func (c *Client) Stats() ClientStats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	st := ClientStats{
+		Received:   c.received,
+		Duplicates: c.duplicates,
+		Replayed:   c.replayed,
+		Gaps:       len(c.gaps),
+		Missing:    len(c.missing),
+		Lost:       c.lost,
+		Reconnects: c.reconnects,
+		LastSeq:    c.lastSeq,
+	}
+	if c.latestSeen > c.lastSeq {
+		st.Lag = c.latestSeen - c.lastSeq
+	}
+	st.Degraded, _ = c.degradedLocked()
+	return st
 }
 
 // Consume drains a subscription until it closes or the client is closed.
@@ -91,7 +393,8 @@ func (c *Client) Errs() []error {
 	return out
 }
 
-// Close stops Consume loops.
+// Close stops Consume loops and any transport goroutine feeding the
+// client.
 func (c *Client) Close() {
 	c.closeOnce.Do(func() { close(c.done) })
 }

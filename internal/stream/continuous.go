@@ -20,6 +20,10 @@ type Result struct {
 	// continuous query (compared by serialized form) — the newly produced
 	// part of the continuous output stream.
 	Delta xq.Sequence
+	// Degraded is non-empty when the query has been invalidated by lost
+	// fragments since the last ClearDegraded: the result may be missing
+	// items that depended on fillers the client never received.
+	Degraded string
 }
 
 // ContinuousQuery re-evaluates a compiled XCQL query whenever new
@@ -33,8 +37,9 @@ type ContinuousQuery struct {
 	// and replays pin it to the fragment timeline.
 	Clock func() time.Time
 
-	mu   sync.Mutex
-	seen map[string]bool
+	mu       sync.Mutex
+	seen     map[string]bool
+	degraded string
 }
 
 // NewContinuousQuery wraps a compiled query. onResult is invoked after
@@ -53,10 +58,38 @@ func NewContinuousQuery(q *xcql.Query, onResult func(Result)) *ContinuousQuery {
 // triggers a re-evaluation. It returns an unsubscribe-free handle (the
 // paper's clients never unregister individual queries from servers; a
 // client-local query just stops being attached when the client closes).
+//
+// Attach also wires the client's loss accounting into the query: a
+// sequence gap invalidates the query (the delta state is reset, so every
+// current item re-emits, and subsequent results carry the degradation
+// reason) — a lost filler can never silently narrow the result.
 func (cq *ContinuousQuery) Attach(c *Client) {
+	c.OnGap(func(g Gap) {
+		cq.Invalidate(g.String())
+	})
 	c.OnFragment(func(*fragment.Fragment) {
 		_ = cq.Evaluate()
 	})
+}
+
+// Invalidate marks the query degraded for the given reason and resets the
+// delta state: the next evaluation re-emits everything it can still see,
+// and every result carries the reason until ClearDegraded. Server-side
+// per-subscription drop records (Subscription.DroppedFillers) or client
+// gaps both funnel into this.
+func (cq *ContinuousQuery) Invalidate(reason string) {
+	cq.mu.Lock()
+	cq.degraded = reason
+	cq.seen = make(map[string]bool)
+	cq.mu.Unlock()
+}
+
+// ClearDegraded re-arms the query after the consumer has handled the
+// degradation (e.g. re-fetched state out of band).
+func (cq *ContinuousQuery) ClearDegraded() {
+	cq.mu.Lock()
+	cq.degraded = ""
+	cq.mu.Unlock()
 }
 
 // Evaluate runs the query once at the current clock instant, updates the
@@ -76,6 +109,7 @@ func (cq *ContinuousQuery) Evaluate() error {
 			res.Delta = append(res.Delta, it)
 		}
 	}
+	res.Degraded = cq.degraded
 	cq.mu.Unlock()
 	if cq.onResult != nil {
 		cq.onResult(res)

@@ -2,11 +2,20 @@
 // small number of servers multicast fragment streams to many receive-only
 // clients. A client registers once (a pull-based handshake that delivers
 // the stream's Tag Structure) and then consumes fillers without ever
-// acknowledging them; the server never hears back.
+// acknowledging them; the server never hears back during normal flow.
+//
+// Reliability model (see DESIGN.md, "Reliability model"): every published
+// fragment is stamped with a monotonically increasing per-stream sequence
+// number, so clients detect gaps and duplicates instead of silently
+// corrupting their temporal view. The server retains a (bounded) replay
+// window; a reconnecting client resumes from its last seen sequence and
+// the server replays the missing suffix. When the window has already
+// slid past the client's position the client surfaces an explicit
+// unrecoverable gap rather than pretending nothing happened.
 //
 // Two transports are provided: an in-process broker (used by tests,
 // benchmarks and the continuous-query runtime) and TCP with a
-// length-delimited XML wire format (cmd/streamdemo).
+// length-prefixed XML wire format (cmd/streamdemo).
 package stream
 
 import (
@@ -19,16 +28,20 @@ import (
 // Server is a broadcast source for one named fragment stream. Fragments
 // published while a subscriber's buffer is full are dropped for that
 // subscriber — the radio-transmitter model: a slow client misses packets
-// and cannot ask for retransmission.
+// and cannot block the transmitter. Unlike a radio, the drop is recorded
+// per subscription (filler ids and sequence numbers), so downstream
+// consumers can invalidate results that depended on the lost fillers.
 type Server struct {
 	name      string
 	structure *tagstruct.Structure
 
-	mu      sync.Mutex
-	subs    map[*Subscription]struct{}
-	history []*fragment.Fragment // retained for late joiners (catch-up)
-	dropped int64
-	closed  bool
+	mu           sync.Mutex
+	subs         map[*Subscription]struct{}
+	history      []*fragment.Fragment // seq-stamped, retained for replay
+	historyLimit int                  // max retained fragments; 0 = unbounded
+	nextSeq      uint64               // last assigned sequence number
+	dropped      int64
+	closed       bool
 }
 
 // NewServer creates a server for the named stream.
@@ -47,48 +60,129 @@ func (s *Server) Name() string { return s.name }
 // registration.
 func (s *Server) Structure() *tagstruct.Structure { return s.structure }
 
+// SetHistoryLimit bounds the replay window to the last n fragments
+// (n <= 0 means unbounded, the default). A smaller window uses less
+// memory but makes older resume positions unrecoverable.
+func (s *Server) SetHistoryLimit(n int) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if n < 0 {
+		n = 0
+	}
+	s.historyLimit = n
+	s.trimHistoryLocked()
+}
+
+func (s *Server) trimHistoryLocked() {
+	if s.historyLimit > 0 && len(s.history) > s.historyLimit {
+		excess := len(s.history) - s.historyLimit
+		// re-slice with copy so the dropped prefix can be collected
+		trimmed := make([]*fragment.Fragment, s.historyLimit)
+		copy(trimmed, s.history[excess:])
+		s.history = trimmed
+	}
+}
+
 // Subscription is one registered client's feed.
 type Subscription struct {
 	server *Server
 	ch     chan *fragment.Fragment
-	once   sync.Once
+
+	// guarded by server.mu — a single lock serializes Publish, Cancel and
+	// Close, so the channel is never closed while a send is in flight.
+	closed      bool
+	droppedIDs  []int    // filler ids this subscription missed
+	droppedSeqs []uint64 // and their sequence numbers
 }
 
 // C is the fragment feed. It is closed when the server shuts down or the
 // subscription is cancelled.
 func (sub *Subscription) C() <-chan *fragment.Fragment { return sub.ch }
 
-// Cancel unregisters the subscription. Safe to call more than once.
+// Cancel unregisters the subscription. Safe to call more than once and
+// safe to race with Publish and Close.
 func (sub *Subscription) Cancel() {
-	sub.once.Do(func() {
-		s := sub.server
-		s.mu.Lock()
-		if _, ok := s.subs[sub]; ok {
-			delete(s.subs, sub)
-			close(sub.ch)
-		}
-		s.mu.Unlock()
-	})
+	s := sub.server
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if sub.closed {
+		return
+	}
+	sub.closed = true
+	delete(s.subs, sub)
+	close(sub.ch)
+}
+
+// DroppedFillers returns the filler ids this subscription missed because
+// its buffer was full, in publish order (one entry per missed delivery,
+// so a filler id published twice and missed twice appears twice).
+// ContinuousQuery uses this to invalidate results that depended on the
+// lost fillers.
+func (sub *Subscription) DroppedFillers() []int {
+	s := sub.server
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]int, len(sub.droppedIDs))
+	copy(out, sub.droppedIDs)
+	return out
+}
+
+// DroppedSeqs returns the sequence numbers of the deliveries this
+// subscription missed, in publish order.
+func (sub *Subscription) DroppedSeqs() []uint64 {
+	s := sub.server
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]uint64, len(sub.droppedSeqs))
+	copy(out, sub.droppedSeqs)
+	return out
 }
 
 // Subscribe registers a client with the given buffer capacity and replays
 // the retained history (catchUp=true) so a late joiner sees the initial
 // document. The paper's clients register exactly once.
 func (s *Server) Subscribe(buffer int, catchUp bool) *Subscription {
-	if buffer < 1 {
-		buffer = 1
+	if catchUp {
+		return s.SubscribeFrom(buffer, 0)
 	}
+	return s.subscribe(buffer, nil)
+}
+
+// SubscribeFrom registers a client that has already seen every fragment
+// up to and including sequence number afterSeq: the retained history with
+// seq > afterSeq is replayed into the subscription before any live
+// fragment. afterSeq = 0 replays the whole retained window (a fresh
+// catch-up join). If the replay window has already slid past afterSeq
+// the replay starts at the oldest retained fragment; the client's gap
+// detection surfaces the missing middle.
+func (s *Server) SubscribeFrom(buffer int, afterSeq uint64) *Subscription {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	var replay []*fragment.Fragment
-	if catchUp {
-		replay = append(replay, s.history...)
+	for _, f := range s.history {
+		if f.Seq > afterSeq {
+			replay = append(replay, f)
+		}
+	}
+	return s.subscribeLocked(buffer, replay)
+}
+
+func (s *Server) subscribe(buffer int, replay []*fragment.Fragment) *Subscription {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.subscribeLocked(buffer, replay)
+}
+
+func (s *Server) subscribeLocked(buffer int, replay []*fragment.Fragment) *Subscription {
+	if buffer < 1 {
+		buffer = 1
 	}
 	sub := &Subscription{server: s, ch: make(chan *fragment.Fragment, buffer+len(replay))}
 	for _, f := range replay {
-		sub.ch <- f // fits: capacity covers history
+		sub.ch <- f // fits: capacity covers the replay
 	}
 	if s.closed {
+		sub.closed = true
 		close(sub.ch)
 		return sub
 	}
@@ -96,21 +190,27 @@ func (s *Server) Subscribe(buffer int, catchUp bool) *Subscription {
 	return sub
 }
 
-// Publish multicasts one fragment to every subscriber and retains it for
-// late joiners. Subscribers with full buffers miss it (counted in
-// Dropped).
+// Publish stamps one fragment with the next sequence number, multicasts
+// it to every subscriber and retains it for replay. Subscribers with full
+// buffers miss it; the miss is recorded on the subscription (filler id +
+// seq) and in the aggregate Dropped counter.
 func (s *Server) Publish(f *fragment.Fragment) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if s.closed {
 		return
 	}
-	s.history = append(s.history, f)
+	s.nextSeq++
+	stamped := f.WithSeq(s.nextSeq)
+	s.history = append(s.history, stamped)
+	s.trimHistoryLocked()
 	for sub := range s.subs {
 		select {
-		case sub.ch <- f:
+		case sub.ch <- stamped:
 		default:
 			s.dropped++
+			sub.droppedIDs = append(sub.droppedIDs, stamped.FillerID)
+			sub.droppedSeqs = append(sub.droppedSeqs, stamped.Seq)
 		}
 	}
 }
@@ -123,20 +223,75 @@ func (s *Server) PublishAll(fs []*fragment.Fragment) {
 }
 
 // Dropped reports how many fragment deliveries were lost to full
-// subscriber buffers.
+// subscriber buffers, across all subscriptions.
 func (s *Server) Dropped() int64 {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	return s.dropped
 }
 
-// History returns a copy of the retained fragment log.
+// History returns a copy of the retained fragment log (seq-stamped).
 func (s *Server) History() []*fragment.Fragment {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	out := make([]*fragment.Fragment, len(s.history))
 	copy(out, s.history)
 	return out
+}
+
+// LatestSeq returns the sequence number of the most recently published
+// fragment (0 before the first publish).
+func (s *Server) LatestSeq() uint64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.nextSeq
+}
+
+// OldestRetained returns the sequence number of the oldest fragment still
+// in the replay window, or 0 when nothing has been published. A resume
+// from afterSeq < OldestRetained()-1 cannot be satisfied losslessly.
+func (s *Server) OldestRetained() uint64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if len(s.history) == 0 {
+		return 0
+	}
+	return s.history[0].Seq
+}
+
+// ServerStats is a point-in-time snapshot of the server's delivery
+// counters.
+type ServerStats struct {
+	// Published is the number of fragments published (== the latest
+	// assigned sequence number).
+	Published uint64
+	// Dropped is the number of deliveries lost to full subscriber
+	// buffers, across all subscriptions.
+	Dropped int64
+	// Subscribers is the number of live subscriptions.
+	Subscribers int
+	// Retained is the number of fragments in the replay window, which
+	// spans sequence numbers [OldestRetained, LatestSeq].
+	Retained       int
+	OldestRetained uint64
+	LatestSeq      uint64
+}
+
+// Stats returns a snapshot of the server's counters.
+func (s *Server) Stats() ServerStats {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	st := ServerStats{
+		Published:   s.nextSeq,
+		Dropped:     s.dropped,
+		Subscribers: len(s.subs),
+		Retained:    len(s.history),
+		LatestSeq:   s.nextSeq,
+	}
+	if len(s.history) > 0 {
+		st.OldestRetained = s.history[0].Seq
+	}
+	return st
 }
 
 // Close shuts the stream down: all subscriptions are cancelled and future
@@ -150,6 +305,7 @@ func (s *Server) Close() {
 	s.closed = true
 	for sub := range s.subs {
 		delete(s.subs, sub)
+		sub.closed = true
 		close(sub.ch)
 	}
 }

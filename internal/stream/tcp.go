@@ -2,29 +2,158 @@ package stream
 
 import (
 	"bufio"
+	"bytes"
+	"encoding/binary"
+	"errors"
 	"fmt"
 	"io"
+	"math/rand"
 	"net"
+	"strconv"
 	"sync"
+	"time"
 
 	"xcql/internal/fragment"
 	"xcql/internal/tagstruct"
 	"xcql/internal/xmldom"
 )
 
-// TCP wire format: upon connection the server writes one header element
+// TCP wire format (v2): every message is a frame — a 4-byte big-endian
+// payload length followed by that many bytes of XML carrying exactly one
+// element. The conversation is:
 //
-//	<stream:header name="…"> <stream:structure>…</stream:structure> </stream:header>
+//	client → server   <stream:resume after="N"/>
+//	server → client   <stream:header name="…" proto="2" oldest="F" latest="L">
+//	                    <stream:structure>…</stream:structure>
+//	                  </stream:header>
+//	server → client   <filler … seq="S">…</filler>  (repeated)
+//	server → client   <stream:eos latest="L"/>      (on orderly shutdown)
 //
-// followed by an unbounded sequence of <filler> elements. The client
-// never writes; registration is the connection itself (the paper's single
-// pull-based registration).
-const headerTag = "stream:header"
+// after="0" is a fresh registration (full catch-up replay); after="N"
+// resumes a broken session, and the server replays every retained
+// fragment with seq > N. oldest/latest advertise the server's replay
+// window so a resuming client can tell immediately when its position has
+// slid out of the window — an unrecoverable gap it must surface rather
+// than hide. This handshake is the paper's single pull-based
+// registration; the client still never writes during normal flow.
+const (
+	headerTag = "stream:header"
+	resumeTag = "stream:resume"
+	eosTag    = "stream:eos"
+
+	protoVersion = "2"
+
+	// maxFrameSize caps a frame payload; a length prefix beyond it is
+	// treated as a corrupt stream rather than an allocation request.
+	maxFrameSize = 16 << 20
+)
+
+// errStreamEnded marks an orderly <stream:eos/> from the server: the
+// stream is over, reconnecting would be pointless.
+var errStreamEnded = errors.New("stream: ended by server")
+
+// --- framing ---------------------------------------------------------------
+
+func writeFrame(w io.Writer, payload []byte) error {
+	var hdr [4]byte
+	binary.BigEndian.PutUint32(hdr[:], uint32(len(payload)))
+	if _, err := w.Write(hdr[:]); err != nil {
+		return err
+	}
+	_, err := w.Write(payload)
+	return err
+}
+
+func readFrame(r io.Reader) ([]byte, error) {
+	var hdr [4]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return nil, err
+	}
+	n := binary.BigEndian.Uint32(hdr[:])
+	if n == 0 {
+		return nil, errors.New("stream: empty frame")
+	}
+	if n > maxFrameSize {
+		return nil, fmt.Errorf("stream: frame of %d bytes exceeds limit %d", n, maxFrameSize)
+	}
+	buf := make([]byte, n)
+	if _, err := io.ReadFull(r, buf); err != nil {
+		return nil, err
+	}
+	return buf, nil
+}
+
+func encodeElement(el *xmldom.Node) []byte {
+	var b bytes.Buffer
+	_ = el.Encode(&b) // bytes.Buffer writes cannot fail
+	return b.Bytes()
+}
+
+func decodeElement(payload []byte) (*xmldom.Node, error) {
+	return xmldom.NewStreamDecoder(bytes.NewReader(payload)).ReadElement()
+}
+
+// frameSink is where the serving side pushes outbound frames; the fault
+// injector wraps it to corrupt the flow deliberately.
+type frameSink interface {
+	WriteFrame(payload []byte) error
+	// Flush releases any frame the sink is holding back (reordering).
+	Flush() error
+}
+
+// connSink writes frames straight to the connection, flushing per frame
+// so subscribers see fragments as they are published.
+type connSink struct {
+	w *bufio.Writer
+}
+
+func (cs *connSink) WriteFrame(payload []byte) error {
+	if err := writeFrame(cs.w, payload); err != nil {
+		return err
+	}
+	return cs.w.Flush()
+}
+
+func (cs *connSink) Flush() error { return cs.w.Flush() }
+
+// --- server side -----------------------------------------------------------
+
+// ServeOptions tune ServeTCPOptions.
+type ServeOptions struct {
+	// Faults, when non-nil, injects transport faults into every
+	// connection's fragment flow (handshake frames are delivered clean so
+	// registration itself stays well-defined). Used by tests and
+	// `streamdemo -chaos`.
+	Faults *FaultInjector
+	// SubscriptionBuffer is the per-connection fragment buffer between
+	// the broker and the TCP writer; a slow reader overflows it and the
+	// overflow becomes a sequence gap at the client. 0 means 1024.
+	SubscriptionBuffer int
+	// HandshakeTimeout bounds how long the server waits for the client's
+	// resume frame. 0 means 10s.
+	HandshakeTimeout time.Duration
+}
+
+func (o ServeOptions) withDefaults() ServeOptions {
+	if o.SubscriptionBuffer <= 0 {
+		o.SubscriptionBuffer = 1024
+	}
+	if o.HandshakeTimeout <= 0 {
+		o.HandshakeTimeout = 10 * time.Second
+	}
+	return o
+}
 
 // ServeTCP accepts registrations on ln and feeds each connection from its
 // own subscription until the peer disconnects or the server closes. It
 // returns when ln fails (e.g. is closed).
 func ServeTCP(s *Server, ln net.Listener) error {
+	return ServeTCPOptions(s, ln, ServeOptions{})
+}
+
+// ServeTCPOptions is ServeTCP with fault injection and tuning knobs.
+func ServeTCPOptions(s *Server, ln net.Listener, opts ServeOptions) error {
+	opts = opts.withDefaults()
 	var wg sync.WaitGroup
 	defer wg.Wait()
 	for {
@@ -36,98 +165,355 @@ func ServeTCP(s *Server, ln net.Listener) error {
 		go func() {
 			defer wg.Done()
 			defer conn.Close()
-			_ = serveConn(s, conn)
+			_ = serveConn(s, conn, opts)
 		}()
 	}
 }
 
-func serveConn(s *Server, conn net.Conn) error {
+func serveConn(s *Server, conn net.Conn, opts ServeOptions) error {
+	// handshake: read the resume position
+	_ = conn.SetReadDeadline(time.Now().Add(opts.HandshakeTimeout))
+	br := bufio.NewReaderSize(conn, 32<<10)
+	payload, err := readFrame(br)
+	if err != nil {
+		return fmt.Errorf("stream: reading resume frame: %w", err)
+	}
+	_ = conn.SetReadDeadline(time.Time{})
+	resumeEl, err := decodeElement(payload)
+	if err != nil || resumeEl.Name != resumeTag {
+		return fmt.Errorf("stream: expected <%s> frame: %v", resumeTag, err)
+	}
+	after, err := strconv.ParseUint(resumeEl.AttrOr("after", "0"), 10, 64)
+	if err != nil {
+		return fmt.Errorf("stream: bad resume position %q", resumeEl.AttrOr("after", ""))
+	}
+
 	w := bufio.NewWriterSize(conn, 64<<10)
+	clean := &connSink{w: w}
+
+	// header: name, structure and the current replay window
+	st := s.Stats()
 	header := xmldom.NewElement(headerTag)
 	header.SetAttr("name", s.Name())
+	header.SetAttr("proto", protoVersion)
+	header.SetAttr("oldest", strconv.FormatUint(st.OldestRetained, 10))
+	header.SetAttr("latest", strconv.FormatUint(st.LatestSeq, 10))
 	header.AppendChild(s.Structure().ToXML())
-	if err := header.Encode(w); err != nil {
+	if err := clean.WriteFrame(encodeElement(header)); err != nil {
 		return err
 	}
-	if _, err := w.WriteString("\n"); err != nil {
-		return err
+
+	var sink frameSink = clean
+	if opts.Faults != nil {
+		sink = opts.Faults.wrap(clean, conn)
 	}
-	if err := w.Flush(); err != nil {
-		return err
-	}
-	sub := s.Subscribe(1024, true)
+
+	sub := s.SubscribeFrom(opts.SubscriptionBuffer, after)
 	defer sub.Cancel()
 	for f := range sub.C() {
-		if err := f.ToXML().Encode(w); err != nil {
-			return err
-		}
-		if _, err := w.WriteString("\n"); err != nil {
-			return err
-		}
-		if err := w.Flush(); err != nil {
+		if err := sink.WriteFrame(encodeElement(f.ToXML())); err != nil {
 			return err
 		}
 	}
-	return nil
+	// orderly end of stream: release any held frame, then say goodbye.
+	// The eos frame carries the latest published seq so a client that was
+	// starved (e.g. its whole tail overflowed the subscription buffer) can
+	// tell it is behind and run its final catch-up pass.
+	if err := sink.Flush(); err != nil {
+		return err
+	}
+	eos := xmldom.NewElement(eosTag)
+	eos.SetAttr("latest", strconv.FormatUint(s.Stats().LatestSeq, 10))
+	return clean.WriteFrame(encodeElement(eos))
 }
 
-// DialTCP registers with a stream server, reads the header, and returns a
-// Client that keeps consuming fragments on a background goroutine until
-// the connection drops or the client is closed.
+// --- client side -----------------------------------------------------------
+
+// DialOptions tune Dial's reconnect behaviour.
+type DialOptions struct {
+	// Reconnect enables automatic re-registration after a transport
+	// failure, resuming from the last seen sequence number.
+	Reconnect bool
+	// MaxAttempts caps consecutive failed reconnect attempts before the
+	// client gives up (recording the failure in Errs). 0 means retry
+	// until the client is closed.
+	MaxAttempts int
+	// InitialBackoff is the delay before the first reconnect attempt;
+	// it doubles per consecutive failure up to MaxBackoff. Defaults:
+	// 50ms / 5s.
+	InitialBackoff time.Duration
+	MaxBackoff     time.Duration
+	// Jitter is the fraction of each backoff randomized away (0..1,
+	// default 0.2): sleep = backoff * (1 - Jitter*rand).
+	Jitter float64
+	// Rand drives the jitter; nil uses a time-seeded source. Tests pass
+	// a seeded RNG for determinism.
+	Rand *rand.Rand
+}
+
+func (o DialOptions) withDefaults() DialOptions {
+	if o.InitialBackoff <= 0 {
+		o.InitialBackoff = 50 * time.Millisecond
+	}
+	if o.MaxBackoff <= 0 {
+		o.MaxBackoff = 5 * time.Second
+	}
+	if o.Jitter < 0 || o.Jitter > 1 {
+		o.Jitter = 0.2
+	}
+	if o.Rand == nil {
+		o.Rand = rand.New(rand.NewSource(time.Now().UnixNano()))
+	}
+	return o
+}
+
+// DialTCP registers with a stream server and returns a Client that keeps
+// consuming fragments on a background goroutine. The connection is
+// resilient: on failure it reconnects with exponential backoff and
+// resumes from the last seen sequence number.
 func DialTCP(addr string) (*Client, error) {
-	conn, err := net.Dial("tcp", addr)
+	return Dial(addr, DialOptions{Reconnect: true})
+}
+
+// handshake is what the server told us at registration.
+type handshake struct {
+	name           string
+	structure      *tagstruct.Structure
+	oldest, latest uint64
+}
+
+// Dial registers with a stream server under explicit reconnect options.
+// The initial connection is synchronous — a server that cannot be reached
+// at all is an immediate error; resilience starts once the first
+// registration succeeds.
+func Dial(addr string, opts DialOptions) (*Client, error) {
+	opts = opts.withDefaults()
+	conn, hs, err := dialHandshake(addr, 0)
 	if err != nil {
 		return nil, err
 	}
-	dec := xmldom.NewStreamDecoder(conn)
-	headerEl, err := dec.ReadElement()
+	c := NewClient(hs.name, hs.structure)
+	c.setBaseline(hs.oldest)
+	c.noteLatest(hs.latest)
+	go runClient(c, conn, addr, opts)
+	return c, nil
+}
+
+// clientConn couples a connection with the buffered reader that must
+// survive from handshake to read loop (the reader may already hold
+// fragment frames buffered behind the header).
+type clientConn struct {
+	conn net.Conn
+	br   *bufio.Reader
+}
+
+// dialHandshake connects, announces the resume position and reads the
+// header frame.
+func dialHandshake(addr string, after uint64) (*clientConn, handshake, error) {
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		return nil, handshake{}, err
+	}
+	resume := xmldom.NewElement(resumeTag)
+	resume.SetAttr("after", strconv.FormatUint(after, 10))
+	if err := writeFrame(conn, encodeElement(resume)); err != nil {
+		conn.Close()
+		return nil, handshake{}, fmt.Errorf("stream: sending resume: %w", err)
+	}
+	br := bufio.NewReaderSize(conn, 64<<10)
+	payload, err := readFrame(br)
 	if err != nil {
 		conn.Close()
-		return nil, fmt.Errorf("stream: reading header: %w", err)
+		return nil, handshake{}, fmt.Errorf("stream: reading header: %w", err)
+	}
+	headerEl, err := decodeElement(payload)
+	if err != nil {
+		conn.Close()
+		return nil, handshake{}, fmt.Errorf("stream: decoding header: %w", err)
 	}
 	if headerEl.Name != headerTag {
 		conn.Close()
-		return nil, fmt.Errorf("stream: expected <%s>, got <%s>", headerTag, headerEl.Name)
+		return nil, handshake{}, fmt.Errorf("stream: expected <%s>, got <%s>", headerTag, headerEl.Name)
 	}
-	name := headerEl.AttrOr("name", "")
 	structEl := headerEl.FirstChildElement(tagstruct.WireRoot)
 	if structEl == nil {
 		conn.Close()
-		return nil, fmt.Errorf("stream: header carries no tag structure")
+		return nil, handshake{}, fmt.Errorf("stream: header carries no tag structure")
 	}
 	structure, err := tagstruct.FromXML(structEl)
 	if err != nil {
 		conn.Close()
-		return nil, err
+		return nil, handshake{}, err
 	}
-	c := NewClient(name, structure)
+	hs := handshake{name: headerEl.AttrOr("name", ""), structure: structure}
+	hs.oldest, _ = strconv.ParseUint(headerEl.AttrOr("oldest", "0"), 10, 64)
+	hs.latest, _ = strconv.ParseUint(headerEl.AttrOr("latest", "0"), 10, 64)
+	return &clientConn{conn: conn, br: br}, hs, nil
+}
+
+// runClient owns the connection lifecycle: read until failure, then (when
+// enabled) reconnect with backoff and resume.
+//
+// An orderly <stream:eos/> normally ends the client — but if the client
+// still knows of outstanding fragments (pending gaps, or a handshake
+// advertised a latest seq it never reached), it first attempts a bounded
+// number of final catch-up registrations: the server keeps replaying
+// retained history even after Close, so a last resume usually heals
+// every recoverable hole. The loop gives up as soon as an attempt makes
+// no progress, so a trimmed replay window cannot spin it.
+func runClient(c *Client, conn *clientConn, addr string, opts DialOptions) {
+	var lastHeal healProgress
+	staleHeals := 0 // consecutive heal attempts that recovered nothing
+	for {
+		err := readLoop(c, conn)
+		select {
+		case <-c.done:
+			return
+		default:
+		}
+		if errors.Is(err, errStreamEnded) {
+			if !opts.Reconnect {
+				return
+			}
+			missing, behind := c.outstanding()
+			if missing == 0 && behind == 0 {
+				return
+			}
+			progress := healProgress{lastSeq: c.LastSeq(), missing: missing}
+			if progress == lastHeal {
+				// a lossy transport can starve a single replay of the one
+				// frame it needed, so one empty-handed attempt is not proof
+				// of permanent loss — but three in a row is close enough
+				if staleHeals++; staleHeals >= 3 {
+					return
+				}
+			} else {
+				staleHeals = 0
+			}
+			lastHeal = progress
+			healOpts := opts
+			if healOpts.MaxAttempts == 0 || healOpts.MaxAttempts > 3 {
+				healOpts.MaxAttempts = 3
+			}
+			next, ok := reconnect(c, addr, healOpts)
+			if !ok {
+				return
+			}
+			conn = next
+			continue
+		}
+		if !opts.Reconnect {
+			if err != nil && err != io.EOF {
+				c.addErr(err)
+			}
+			return
+		}
+		next, ok := reconnect(c, addr, opts)
+		if !ok {
+			return
+		}
+		conn = next
+	}
+}
+
+// healProgress fingerprints the receive state between end-of-stream heal
+// attempts; identical fingerprints mean the attempt changed nothing.
+type healProgress struct {
+	lastSeq uint64
+	missing int
+}
+
+// reconnect retries dialHandshake under the backoff policy until it
+// succeeds, the client closes, or MaxAttempts is exhausted.
+func reconnect(c *Client, addr string, opts DialOptions) (*clientConn, bool) {
+	backoff := opts.InitialBackoff
+	for attempt := 1; ; attempt++ {
+		if opts.MaxAttempts > 0 && attempt > opts.MaxAttempts {
+			c.addErr(fmt.Errorf("stream: giving up on %s after %d reconnect attempts", addr, opts.MaxAttempts))
+			return nil, false
+		}
+		sleep := backoff - time.Duration(opts.Jitter*opts.Rand.Float64()*float64(backoff))
+		select {
+		case <-c.done:
+			return nil, false
+		case <-time.After(sleep):
+		}
+		after := c.resumePos()
+		conn, hs, err := dialHandshake(addr, after)
+		if err != nil {
+			backoff *= 2
+			if backoff > opts.MaxBackoff {
+				backoff = opts.MaxBackoff
+			}
+			continue
+		}
+		if hs.name != c.Name() {
+			conn.conn.Close()
+			c.addErr(fmt.Errorf("stream: reconnected to %q, want %q", hs.name, c.Name()))
+			return nil, false
+		}
+		// The resume position may have slid out of the server's replay
+		// window; that loss is permanent and must be said out loud.
+		if after > 0 {
+			switch {
+			case hs.oldest > after+1:
+				c.reportUnrecoverable(Gap{From: after + 1, To: hs.oldest - 1,
+					Reason: fmt.Sprintf("unrecoverable: server replay window starts at seq %d", hs.oldest)})
+			case hs.oldest == 0 && hs.latest > after:
+				c.reportUnrecoverable(Gap{From: after + 1, To: hs.latest,
+					Reason: "unrecoverable: server retains no replay history"})
+			}
+		}
+		c.setBaseline(hs.oldest)
+		c.noteReconnect()
+		c.noteLatest(hs.latest)
+		return conn, true
+	}
+}
+
+// readLoop consumes frames until the connection dies, the stream ends, or
+// the client closes. It always closes the connection before returning.
+func readLoop(c *Client, cc *clientConn) error {
+	stop := make(chan struct{})
+	defer close(stop)
 	go func() {
-		defer conn.Close()
-		for {
-			select {
-			case <-c.done:
-				return
-			default:
-			}
-			el, err := dec.ReadElement()
-			if err == io.EOF {
-				return
-			}
-			if err != nil {
-				c.mu.Lock()
-				c.errs = append(c.errs, err)
-				c.mu.Unlock()
-				return
-			}
-			f, err := fragment.FromXML(el)
-			if err != nil {
-				c.mu.Lock()
-				c.errs = append(c.errs, err)
-				c.mu.Unlock()
-				continue
-			}
-			c.Apply(f)
+		select {
+		case <-c.done:
+			cc.conn.Close() // unblock the pending read
+		case <-stop:
 		}
 	}()
-	return c, nil
+	defer cc.conn.Close()
+	br := cc.br
+	for {
+		payload, err := readFrame(br)
+		if err != nil {
+			return err
+		}
+		el, err := decodeElement(payload)
+		if err != nil {
+			// a frame that is not well-formed XML: tolerate the noise,
+			// the sequence numbers account for anything lost
+			c.addErr(err)
+			continue
+		}
+		if el.Name == eosTag {
+			if latest, err := strconv.ParseUint(el.AttrOr("latest", "0"), 10, 64); err == nil {
+				c.noteLatest(latest)
+			}
+			return errStreamEnded
+		}
+		f, err := fragment.FromXML(el)
+		if err != nil {
+			c.addErr(err)
+			continue
+		}
+		c.Apply(f)
+	}
+}
+
+func (c *Client) addErr(err error) {
+	c.mu.Lock()
+	c.errs = append(c.errs, err)
+	c.mu.Unlock()
 }

@@ -31,6 +31,7 @@ package xcql
 
 import (
 	"fmt"
+	"net"
 	"strings"
 	"time"
 
@@ -83,6 +84,22 @@ type (
 	ContinuousQuery = stream.ContinuousQuery
 	// Result is one evaluation of a continuous query.
 	Result = stream.Result
+	// Gap is a run of sequence numbers a client failed to receive.
+	Gap = stream.Gap
+	// ClientStats is a snapshot of a client's delivery counters.
+	ClientStats = stream.ClientStats
+	// ServerStats is a snapshot of a server's publish counters.
+	ServerStats = stream.ServerStats
+	// DialOptions tune a client's reconnect/backoff behaviour.
+	DialOptions = stream.DialOptions
+	// ServeOptions tune the TCP serving side (buffers, fault injection).
+	ServeOptions = stream.ServeOptions
+	// FaultPlan configures deterministic transport-fault injection.
+	FaultPlan = stream.FaultPlan
+	// FaultStats counts the faults an injector has inflicted.
+	FaultStats = stream.FaultStats
+	// FaultInjector corrupts a fragment flow on purpose (tests, -chaos).
+	FaultInjector = stream.FaultInjector
 	// DateTime is a time point, possibly the symbolic start or now.
 	DateTime = xtime.DateTime
 	// Duration is an ISO-8601 duration (PnYnMnDTnHnMnS).
@@ -231,8 +248,24 @@ func NewServer(name string, s *TagStructure) *Server { return stream.NewServer(n
 func NewClient(name string, s *TagStructure) *Client { return stream.NewClient(name, s) }
 
 // DialTCP registers with a TCP stream server and returns a consuming
-// client.
+// client with automatic reconnect enabled.
 func DialTCP(addr string) (*Client, error) { return stream.DialTCP(addr) }
+
+// Dial registers with a TCP stream server under explicit reconnect
+// options.
+func Dial(addr string, opts DialOptions) (*Client, error) { return stream.Dial(addr, opts) }
+
+// ServeTCP serves a stream server's fragment flow on a listener.
+func ServeTCP(s *Server, ln net.Listener) error { return stream.ServeTCP(s, ln) }
+
+// ServeTCPOptions is ServeTCP with tuning knobs and fault injection.
+func ServeTCPOptions(s *Server, ln net.Listener, opts ServeOptions) error {
+	return stream.ServeTCPOptions(s, ln, opts)
+}
+
+// NewFaultInjector builds a seeded transport-fault injector for
+// ServeOptions.Faults.
+func NewFaultInjector(plan FaultPlan) *FaultInjector { return stream.NewFaultInjector(plan) }
 
 // NewContinuousQuery wraps a compiled query for continuous evaluation.
 func NewContinuousQuery(q *Query, onResult func(Result)) *ContinuousQuery {
