@@ -2,21 +2,30 @@
 GO       ?= go
 FUZZTIME ?= 10s
 
-.PHONY: check vet build test race fuzz-smoke bench
+.PHONY: check vet static build test race fuzz-smoke bench
 
-check: vet build race fuzz-smoke
+check: vet static build race fuzz-smoke
 
 vet:
 	$(GO) vet ./...
+
+# staticcheck is optional tooling: run it when installed, skip loudly
+# (but successfully) when not, so `make check` works on a bare toolchain.
+static:
+	@if command -v staticcheck >/dev/null 2>&1; then \
+		staticcheck ./...; \
+	else \
+		echo "staticcheck not installed; skipping"; \
+	fi
 
 build:
 	$(GO) build ./...
 
 test:
-	$(GO) test ./...
+	$(GO) test -timeout 120s ./...
 
 race:
-	$(GO) test -race ./...
+	$(GO) test -race -timeout 120s ./...
 
 # A short deterministic shake of each fuzz target; longer runs are
 # `make fuzz-smoke FUZZTIME=5m`. `-run '^$'` skips the unit tests that
@@ -25,6 +34,7 @@ fuzz-smoke:
 	$(GO) test ./internal/fragment -run '^$$' -fuzz '^FuzzWireDecode$$' -fuzztime $(FUZZTIME)
 	$(GO) test ./internal/stream -run '^$$' -fuzz '^FuzzReadFrame$$' -fuzztime $(FUZZTIME)
 	$(GO) test ./internal/stream -run '^$$' -fuzz '^FuzzFrameRoundTrip$$' -fuzztime $(FUZZTIME)
+	$(GO) test ./internal/xcql -run '^$$' -fuzz '^FuzzCompile$$' -fuzztime $(FUZZTIME)
 
 bench:
 	$(GO) test -bench=. -benchmem

@@ -1,0 +1,167 @@
+package xcql_test
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"strings"
+	"testing"
+	"time"
+
+	"xcql"
+)
+
+// bigEngine builds an engine over a generated stream large enough that
+// a nested-loop query runs long: ~1200 items under a flat root.
+func bigEngine(t testing.TB) *xcql.Engine {
+	t.Helper()
+	const wire = `<stream:structure>
+<tag type="snapshot" id="1" name="items">
+  <tag type="event" id="2" name="item">
+    <tag type="snapshot" id="3" name="v"/>
+  </tag>
+</tag>
+</stream:structure>`
+	var b strings.Builder
+	b.WriteString(`<items>`)
+	for i := 0; i < 1200; i++ {
+		fmt.Fprintf(&b, `<item id="%d" vtFrom="2003-01-01T00:00:00" vtTo="2003-01-01T00:00:00"><v>%d</v></item>`, i, i)
+	}
+	b.WriteString(`</items>`)
+	e := xcql.NewEngine()
+	structure, err := xcql.ParseTagStructure(wire)
+	if err != nil {
+		t.Fatal(err)
+	}
+	doc, err := xcql.ParseDocument(b.String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := e.AddDocumentStream("big", structure, doc); err != nil {
+		t.Fatal(err)
+	}
+	return e
+}
+
+// slowQuery is a quadratic cross join over the big stream — far too
+// slow to finish before any sane deadline.
+const slowQuery = `for $a in stream("big")//item for $b in stream("big")//item where $a/v = $b/v return $a`
+
+// Cancellation of an in-flight evaluation must return promptly — the
+// issue's bar is under 100ms from cancel to return — and identify
+// context.Canceled.
+func TestCancelReturnsPromptly(t *testing.T) {
+	e := bigEngine(t)
+	q, err := e.Compile(slowQuery, xcql.QaCPlus)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	type outcome struct {
+		err     error
+		elapsed time.Duration
+	}
+	done := make(chan outcome, 1)
+	canceledAt := make(chan time.Time, 1)
+	go func() {
+		_, err := q.EvalContext(ctx, at)
+		done <- outcome{err: err, elapsed: time.Since(<-canceledAt)}
+	}()
+	// Let the evaluation get properly underway, then pull the plug.
+	time.Sleep(50 * time.Millisecond)
+	canceledAt <- time.Now()
+	cancel()
+	select {
+	case o := <-done:
+		if o.err == nil {
+			t.Fatal("canceled evaluation returned success")
+		}
+		if !errors.Is(o.err, context.Canceled) {
+			t.Fatalf("want errors.Is(err, context.Canceled), got %v", o.err)
+		}
+		if o.elapsed > 100*time.Millisecond {
+			t.Fatalf("cancel took %v, want < 100ms", o.elapsed)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("evaluation never returned after cancel")
+	}
+
+	// The engine answers normal queries immediately afterwards.
+	seq, err := e.Eval(`count(stream("big")//item)`, at)
+	if err != nil {
+		t.Fatalf("engine unusable after cancel: %v", err)
+	}
+	if xcql.StringValue(seq[0]) != "1200" {
+		t.Fatalf("count = %v", seq[0])
+	}
+}
+
+// A runaway query is killed by its deadline under every plan, the error
+// names the tripped limit, and the engine stays fully usable: the same
+// probe query returns identical results before and after each kill.
+func TestEngineSurvivesRunawayQuery(t *testing.T) {
+	e := bigEngine(t)
+	const probe = `count(stream("big")//item)`
+	before, err := e.Eval(probe, at)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, mode := range []xcql.Mode{xcql.CaQ, xcql.QaC, xcql.QaCPlus} {
+		q, err := e.Compile(slowQuery, mode)
+		if err != nil {
+			t.Fatalf("%v compile: %v", mode, err)
+		}
+		q.Limits = xcql.Limits{Timeout: 30 * time.Millisecond}
+		start := time.Now()
+		_, err = q.Eval(at)
+		if err == nil {
+			t.Fatalf("%v: runaway query finished unexpectedly", mode)
+		}
+		if elapsed := time.Since(start); elapsed > 2*time.Second {
+			t.Fatalf("%v: deadline kill took %v", mode, elapsed)
+		}
+		re, ok := xcql.ResourceCause(err)
+		if !ok {
+			t.Fatalf("%v: want resource cause, got %v", mode, err)
+		}
+		if re.Limit != xcql.LimitTimeout {
+			t.Fatalf("%v: want timeout trip, got %q", mode, re.Limit)
+		}
+		var ee *xcql.EvalError
+		if !errors.As(err, &ee) {
+			t.Fatalf("%v: want *EvalError, got %T", mode, err)
+		}
+		if !strings.Contains(ee.Query, "stream(") {
+			t.Fatalf("%v: EvalError should carry the query text, got %q", mode, ee.Query)
+		}
+
+		after, err := e.Eval(probe, at)
+		if err != nil {
+			t.Fatalf("%v: engine unusable after kill: %v", mode, err)
+		}
+		if xcql.StringValue(after[0]) != xcql.StringValue(before[0]) {
+			t.Fatalf("%v: probe diverged after kill: %v vs %v", mode, after[0], before[0])
+		}
+	}
+}
+
+// Engine.EvalContext is the one-shot governed entry point.
+func TestEngineEvalContext(t *testing.T) {
+	e := newEngine(t)
+	seq, err := e.EvalContext(context.Background(), `stream("credit")//account/customer`, at,
+		xcql.Limits{Timeout: time.Second, MaxSteps: 100000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := xcql.FormatSequence(seq); !strings.Contains(got, "John Smith") {
+		t.Fatalf("result = %q", got)
+	}
+
+	_, err = e.EvalContext(context.Background(),
+		`for $a in stream("credit")//* for $b in stream("credit")//* return $b`,
+		at, xcql.Limits{MaxSteps: 10})
+	re, ok := xcql.ResourceCause(err)
+	if !ok || re.Limit != xcql.LimitSteps {
+		t.Fatalf("want steps trip, got %v", err)
+	}
+}

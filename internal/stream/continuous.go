@@ -1,9 +1,12 @@
 package stream
 
 import (
+	"context"
+	"errors"
 	"sync"
 	"time"
 
+	"xcql/internal/budget"
 	"xcql/internal/fragment"
 	"xcql/internal/xcql"
 	"xcql/internal/xmldom"
@@ -36,6 +39,13 @@ type ContinuousQuery struct {
 	// Clock supplies the evaluation instant; defaults to time.Now. Tests
 	// and replays pin it to the fragment timeline.
 	Clock func() time.Time
+	// Limits bounds each evaluation (per-evaluation deadline via
+	// Limits.Timeout, plus step/cardinality/byte budgets). The zero
+	// value falls back to the compiled query's own Limits. A budget- or
+	// deadline-killed evaluation does not wedge the delivering
+	// goroutine: it marks the query degraded with the trip reason and
+	// emits an empty result carrying it.
+	Limits xcql.Limits
 
 	mu       sync.Mutex
 	seen     map[string]bool
@@ -94,10 +104,28 @@ func (cq *ContinuousQuery) ClearDegraded() {
 
 // Evaluate runs the query once at the current clock instant, updates the
 // delta state, and emits the result.
+//
+// A resource-governed failure — budget trip, per-evaluation deadline, or
+// admission-control rejection — is part of normal continuous operation,
+// not an error: the query is invalidated (degraded, delta reset) and an
+// empty result carrying the reason is emitted, so the subscription keeps
+// flowing and the consumer sees exactly why this evaluation produced
+// nothing. Other evaluation errors are returned as before.
 func (cq *ContinuousQuery) Evaluate() error {
 	at := cq.Clock()
-	seq, err := cq.query.Eval(at)
+	lim := cq.Limits
+	if lim == (xcql.Limits{}) {
+		lim = cq.query.Limits
+	}
+	seq, err := cq.query.EvalLimits(context.Background(), at, lim)
 	if err != nil {
+		if reason, ok := governedFailure(err); ok {
+			cq.Invalidate(reason)
+			if cq.onResult != nil {
+				cq.onResult(Result{At: at, Degraded: reason})
+			}
+			return nil
+		}
 		return err
 	}
 	res := Result{At: at, Items: seq}
@@ -123,6 +151,21 @@ func (cq *ContinuousQuery) ResetDelta() {
 	cq.mu.Lock()
 	defer cq.mu.Unlock()
 	cq.seen = make(map[string]bool)
+}
+
+// governedFailure classifies an evaluation error as resource governance
+// (budget trip, deadline, overload rejection) and renders the
+// degradation reason.
+func governedFailure(err error) (string, bool) {
+	var re *budget.ResourceError
+	if errors.As(err, &re) {
+		return "degraded: evaluation aborted: " + re.Error(), true
+	}
+	var oe *xcql.OverloadError
+	if errors.As(err, &oe) {
+		return "degraded: evaluation rejected: " + oe.Error(), true
+	}
+	return "", false
 }
 
 func itemKey(it xq.Item) string {

@@ -3,6 +3,7 @@ package temporal
 import (
 	"time"
 
+	"xcql/internal/budget"
 	"xcql/internal/fragment"
 	"xcql/internal/xmldom"
 	"xcql/internal/xtime"
@@ -18,6 +19,30 @@ type HoleResolver func(holeID int) []*xmldom.Node
 // evaluation instant.
 func StoreResolver(st *fragment.Store, at time.Time) HoleResolver {
 	return func(holeID int) []*xmldom.Node { return st.GetFillers(holeID, at) }
+}
+
+// BudgetResolver wraps a HoleResolver so every hole expansion charges
+// the budget: one step per resolution (which also polls cancellation),
+// plus the cardinality and tree bytes of the returned filler versions.
+// This is what meters the QaC/QaC+ get_fillers walks and projection-time
+// hole crossing: a query that keeps pulling fillers trips its budget by
+// panicking with the *budget.ResourceError, contained at the engine
+// boundary. A nil budget or resolver passes through unchanged.
+func BudgetResolver(b *budget.Budget, inner HoleResolver) HoleResolver {
+	if b == nil || inner == nil {
+		return inner
+	}
+	return func(holeID int) []*xmldom.Node {
+		b.MustStep()
+		els := inner(holeID)
+		b.MustItems(len(els))
+		var n int64
+		for _, el := range els {
+			n += int64(el.TreeSize())
+		}
+		b.MustBytes(n)
+		return els
+	}
 }
 
 // IntervalProjection implements e?[tb,te] (§6, interval_projection): it

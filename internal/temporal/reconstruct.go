@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"time"
 
+	"xcql/internal/budget"
 	"xcql/internal/fragment"
 	"xcql/internal/tagstruct"
 	"xcql/internal/xmldom"
@@ -26,17 +27,38 @@ import (
 // being duplicated per version. This keeps the view — and therefore all
 // three query plans — consistent about element identity.
 func Temporalize(st *fragment.Store, at time.Time) (*xmldom.Node, error) {
+	return TemporalizeBudget(st, at, nil)
+}
+
+// TemporalizeBudget is Temporalize metered by a resource budget: every
+// copied element charges a step and its shallow bytes, so an oversized
+// materialization aborts mid-reconstruction with a *budget.ResourceError
+// instead of exhausting memory first. A nil budget is unlimited.
+func TemporalizeBudget(st *fragment.Store, at time.Time, b *budget.Budget) (view *xmldom.Node, err error) {
 	root := st.LatestVersion(fragment.RootFillerID, at)
 	if root == nil {
 		return nil, fmt.Errorf("temporal: root filler has not arrived")
 	}
+	defer func() {
+		if p := recover(); p != nil {
+			if re, ok := p.(*budget.ResourceError); ok {
+				view, err = nil, re
+				return
+			}
+			panic(p)
+		}
+	}()
 	seen := make(map[int]bool)
-	return temporalizeElement(st, root.Payload, at, seen), nil
+	return temporalizeElement(st, root.Payload, at, seen, b), nil
 }
 
 // temporalizeElement copies el, replacing hole children with their fillers
-// recursively. Mirrors the paper's temporalize/get_fillers pair.
-func temporalizeElement(st *fragment.Store, el *xmldom.Node, at time.Time, seen map[int]bool) *xmldom.Node {
+// recursively. Mirrors the paper's temporalize/get_fillers pair. The walk
+// charges the budget per copied element and aborts by panicking with the
+// *budget.ResourceError (contained by TemporalizeBudget).
+func temporalizeElement(st *fragment.Store, el *xmldom.Node, at time.Time, seen map[int]bool, b *budget.Budget) *xmldom.Node {
+	b.MustStep()
+	b.MustBytes(int64(el.ShallowSize()))
 	out := xmldom.NewElement(el.Name)
 	out.Attrs = append(out.Attrs, el.Attrs...)
 	for _, c := range el.Children {
@@ -50,12 +72,14 @@ func temporalizeElement(st *fragment.Store, el *xmldom.Node, at time.Time, seen 
 				continue
 			}
 			seen[id] = true
-			for _, filler := range st.GetFillers(id, at) {
-				out.AppendChild(temporalizeElement(st, filler, at, seen))
+			fillers := st.GetFillers(id, at)
+			b.MustItems(len(fillers))
+			for _, filler := range fillers {
+				out.AppendChild(temporalizeElement(st, filler, at, seen, b))
 			}
 			continue
 		}
-		out.AppendChild(temporalizeElement(st, c, at, seen))
+		out.AppendChild(temporalizeElement(st, c, at, seen, b))
 	}
 	return out
 }
@@ -98,9 +122,20 @@ func NewReconstructor(s *tagstruct.Structure) *Reconstructor {
 // explicit work list of (element, tag) pairs in which only hole-bearing
 // subtrees are ever entered.
 func (r *Reconstructor) Materialize(st *fragment.Store, at time.Time) (*xmldom.Node, error) {
+	return r.MaterializeBudget(st, at, nil)
+}
+
+// MaterializeBudget is Materialize metered by a resource budget: each
+// work item charges a step, and spliced fillers charge their cardinality
+// and tree bytes, so reconstruction aborts mid-flight when over budget.
+// A nil budget is unlimited.
+func (r *Reconstructor) MaterializeBudget(st *fragment.Store, at time.Time, b *budget.Budget) (*xmldom.Node, error) {
 	rootFrag := st.LatestVersion(fragment.RootFillerID, at)
 	if rootFrag == nil {
 		return nil, fmt.Errorf("temporal: root filler has not arrived")
+	}
+	if err := b.AddBytes(int64(rootFrag.Payload.TreeSize())); err != nil {
+		return nil, err
 	}
 	root := rootFrag.Payload.Clone()
 	type item struct {
@@ -113,6 +148,9 @@ func (r *Reconstructor) Materialize(st *fragment.Store, at time.Time) (*xmldom.N
 	seen := make(map[int]bool)
 	work := []item{{root, r.structure.Root}}
 	for len(work) > 0 {
+		if err := b.Step(); err != nil {
+			return nil, err
+		}
 		it := work[len(work)-1]
 		work = work[:len(work)-1]
 		el, tag := it.el, it.tag
@@ -139,6 +177,16 @@ func (r *Reconstructor) Materialize(st *fragment.Store, at time.Time) (*xmldom.N
 			}
 			seen[id] = true
 			fillers := st.GetFillers(id, at)
+			if err := b.AddItems(len(fillers)); err != nil {
+				return nil, err
+			}
+			var fillerBytes int64
+			for _, f := range fillers {
+				fillerBytes += int64(f.TreeSize())
+			}
+			if err := b.AddBytes(fillerBytes); err != nil {
+				return nil, err
+			}
 			// splice fillers in place of the hole
 			el.Children = append(el.Children[:i], append(fillers, el.Children[i+1:]...)...)
 			fillerTag := r.structure.ByID(fragment.HoleTSID(c))

@@ -1,0 +1,67 @@
+package xcql
+
+import (
+	"errors"
+	"fmt"
+
+	"xcql/internal/budget"
+)
+
+// Limits re-exports the per-evaluation resource bounds. The zero value
+// is unlimited except for the recursion-depth default
+// (budget.DefaultMaxDepth).
+type Limits = budget.Limits
+
+// EvalError is the engine boundary's structured failure: it carries the
+// query text, the plan it ran under, and the underlying cause — a
+// *budget.ResourceError when a resource limit tripped, or the recovered
+// panic (with Stack set) when the evaluator panicked. It unwraps to the
+// cause, so errors.As(err, &re) with re a **budget.ResourceError and
+// errors.Is(err, context.Canceled) both work.
+type EvalError struct {
+	// Query is the XCQL source text of the failed evaluation.
+	Query string
+	// Mode is the physical plan the evaluation ran under.
+	Mode Mode
+	// Err is the underlying cause.
+	Err error
+	// Stack is the goroutine stack at the point of a recovered panic;
+	// nil for resource-limit trips and ordinary evaluation errors.
+	Stack []byte
+}
+
+func (e *EvalError) Error() string {
+	src := e.Query
+	if len(src) > 120 {
+		src = src[:117] + "..."
+	}
+	return fmt.Sprintf("xcql: %s evaluation of %q failed: %v", e.Mode, src, e.Err)
+}
+
+// Unwrap exposes the underlying cause.
+func (e *EvalError) Unwrap() error { return e.Err }
+
+// ResourceCause returns the tripped resource limit behind err, if any:
+// a convenience over errors.As for the common "which limit killed this
+// evaluation" question.
+func ResourceCause(err error) (*budget.ResourceError, bool) {
+	var re *budget.ResourceError
+	if errors.As(err, &re) {
+		return re, true
+	}
+	return nil, false
+}
+
+// OverloadError is the admission-control rejection: the runtime already
+// runs its configured maximum of concurrent evaluations, and rather
+// than queue unboundedly it refuses the new one. Callers should retry
+// later or shed the query.
+type OverloadError struct {
+	// Active is the number of evaluations running at rejection time;
+	// Max is the configured admission limit.
+	Active, Max int
+}
+
+func (e *OverloadError) Error() string {
+	return fmt.Sprintf("xcql: engine overloaded: %d evaluations running (max %d)", e.Active, e.Max)
+}

@@ -1,11 +1,15 @@
 package xcql
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"math"
+	"runtime/debug"
 	"sync"
 	"time"
 
+	"xcql/internal/budget"
 	"xcql/internal/fragment"
 	"xcql/internal/tagstruct"
 	"xcql/internal/temporal"
@@ -22,6 +26,12 @@ type Runtime struct {
 	stores map[string]*fragment.Store
 	funcs  map[string]xq.Func
 	docs   map[string]*xmldom.Node
+
+	// admission control: maxEvals > 0 bounds concurrent evaluations;
+	// excess attempts are rejected with *OverloadError instead of
+	// queuing unboundedly.
+	maxEvals    int
+	activeEvals int
 }
 
 // NewRuntime returns an empty runtime.
@@ -73,6 +83,42 @@ func (rt *Runtime) Structures() map[string]*tagstruct.Structure {
 	return out
 }
 
+// SetMaxConcurrentEvals bounds the number of evaluations the runtime
+// admits at once (n <= 0 means unlimited, the default). When the bound
+// is reached, further Eval/EvalContext calls fail fast with an
+// *OverloadError — explicit load shedding instead of unbounded queuing.
+func (rt *Runtime) SetMaxConcurrentEvals(n int) {
+	rt.mu.Lock()
+	defer rt.mu.Unlock()
+	if n < 0 {
+		n = 0
+	}
+	rt.maxEvals = n
+}
+
+// ActiveEvals reports the number of evaluations currently running.
+func (rt *Runtime) ActiveEvals() int {
+	rt.mu.Lock()
+	defer rt.mu.Unlock()
+	return rt.activeEvals
+}
+
+func (rt *Runtime) admit() error {
+	rt.mu.Lock()
+	defer rt.mu.Unlock()
+	if rt.maxEvals > 0 && rt.activeEvals >= rt.maxEvals {
+		return &OverloadError{Active: rt.activeEvals, Max: rt.maxEvals}
+	}
+	rt.activeEvals++
+	return nil
+}
+
+func (rt *Runtime) release() {
+	rt.mu.Lock()
+	rt.activeEvals--
+	rt.mu.Unlock()
+}
+
 // Query is a compiled XCQL query bound to a runtime.
 type Query struct {
 	rt     *Runtime
@@ -82,6 +128,11 @@ type Query struct {
 	AST xq.Expr
 	// Plan is the translated engine expression actually evaluated.
 	Plan xq.Expr
+	// Limits bounds every evaluation of this query: steps, recursion
+	// depth, cardinality, bytes and wall time. The zero value is
+	// unlimited except for the recursion-depth default. Set it before
+	// sharing the query across goroutines.
+	Limits Limits
 }
 
 // Compile parses src and translates it for the given mode against the
@@ -111,25 +162,87 @@ func (rt *Runtime) MustCompile(src string, mode Mode) *Query {
 // result: holes remaining in returned fragments are resolved (the final
 // Materialize step of Figure 2), so callers always see the temporal view.
 func (q *Query) Eval(at time.Time) (xq.Sequence, error) {
-	static := q.rt.newStatic(at)
-	seq, err := xq.Eval(q.Plan, xq.NewContext(static))
-	if err != nil {
-		return nil, err
-	}
-	return q.rt.materializeResult(seq, at), nil
+	return q.eval(context.Background(), at, q.Limits, true)
+}
+
+// EvalContext is Eval under a context: cancelling ctx aborts the
+// evaluation cooperatively (the evaluator polls between steps), and the
+// query's Limits are enforced. Limit trips, cancellation and evaluator
+// panics all surface as a structured *EvalError carrying the query text
+// and wrapping the *budget.ResourceError (or panic) that caused it; the
+// engine, its stores and other queries remain fully usable afterwards.
+func (q *Query) EvalContext(ctx context.Context, at time.Time) (xq.Sequence, error) {
+	return q.eval(ctx, at, q.Limits, true)
+}
+
+// EvalLimits is EvalContext with explicit limits overriding q.Limits
+// for this evaluation only.
+func (q *Query) EvalLimits(ctx context.Context, at time.Time, lim Limits) (xq.Sequence, error) {
+	return q.eval(ctx, at, lim, true)
 }
 
 // EvalRaw runs the plan without the final materialization; benchmarks use
 // it to time pure plan execution, and callers that re-fragment results
 // want the holes kept.
 func (q *Query) EvalRaw(at time.Time) (xq.Sequence, error) {
-	static := q.rt.newStatic(at)
-	return xq.Eval(q.Plan, xq.NewContext(static))
+	return q.eval(context.Background(), at, q.Limits, false)
+}
+
+// EvalRawContext is EvalRaw under a context and the query's Limits.
+func (q *Query) EvalRawContext(ctx context.Context, at time.Time) (xq.Sequence, error) {
+	return q.eval(ctx, at, q.Limits, false)
+}
+
+// eval is the engine boundary: admission control, budget construction,
+// plan evaluation, result materialization, and panic containment. Any
+// panic escaping the evaluator — a budget trip from a non-error-returning
+// walk, or a genuine bug — is converted into an *EvalError here instead
+// of killing the process and every attached continuous query.
+func (q *Query) eval(ctx context.Context, at time.Time, lim Limits, materialize bool) (seq xq.Sequence, err error) {
+	if err := q.rt.admit(); err != nil {
+		return nil, err
+	}
+	defer q.rt.release()
+	b := budget.New(ctx, lim)
+	static := q.rt.newStatic(at, b)
+	defer func() {
+		if p := recover(); p != nil {
+			seq = nil
+			if re, ok := p.(*budget.ResourceError); ok {
+				err = &EvalError{Query: q.Source, Mode: q.Mode, Err: re}
+				return
+			}
+			err = &EvalError{
+				Query: q.Source,
+				Mode:  q.Mode,
+				Err:   fmt.Errorf("panic: %v", p),
+				Stack: debug.Stack(),
+			}
+		}
+	}()
+	seq, err = xq.Eval(q.Plan, xq.NewContext(static))
+	if err != nil {
+		return nil, q.wrapResource(err)
+	}
+	if materialize {
+		seq = q.rt.materializeResult(seq, at, b)
+	}
+	return seq, nil
+}
+
+// wrapResource dresses resource-limit errors in the *EvalError envelope
+// (query text + plan); other evaluation errors pass through untouched.
+func (q *Query) wrapResource(err error) error {
+	var re *budget.ResourceError
+	if errors.As(err, &re) {
+		return &EvalError{Query: q.Source, Mode: q.Mode, Err: err}
+	}
+	return err
 }
 
 // newStatic assembles the evaluation environment: intrinsics, user
-// functions, and the resolvers.
-func (rt *Runtime) newStatic(at time.Time) *xq.Static {
+// functions, the resolvers, and the evaluation's resource budget.
+func (rt *Runtime) newStatic(at time.Time, b *budget.Budget) *xq.Static {
 	funcs := map[string]xq.Func{
 		fnView:     rt.intrView,
 		fnRoot:     rt.intrRoot,
@@ -149,7 +262,7 @@ func (rt *Runtime) newStatic(at time.Time) *xq.Static {
 		Funcs: funcs,
 		Stream: func(name string) (xq.Sequence, error) {
 			// uncompiled stream() access sees the materialized view
-			return rt.intrViewNamed(name, at)
+			return rt.intrViewNamed(name, at, b)
 		},
 		Doc: func(uri string) (*xmldom.Node, error) {
 			rt.mu.RLock()
@@ -159,7 +272,8 @@ func (rt *Runtime) newStatic(at time.Time) *xq.Static {
 			}
 			return nil, fmt.Errorf("xcql: unknown document %q", uri)
 		},
-		Holes: rt.combinedResolver(at),
+		Holes:  temporal.BudgetResolver(b, rt.combinedResolver(at)),
+		Budget: b,
 	}
 }
 
@@ -196,12 +310,33 @@ func argString(args []xq.Sequence, i int) string {
 	return xq.StringValue(args[i][0])
 }
 
-func (rt *Runtime) intrViewNamed(name string, at time.Time) (xq.Sequence, error) {
+// chargeNodes meters the output of a store walk (get_fillers and the
+// tsid scan): cardinality plus the tree bytes of every resolved filler
+// version. This is what bounds the QaC/QaC+ access paths.
+func chargeNodes(b *budget.Budget, seq xq.Sequence) error {
+	if b == nil {
+		return nil
+	}
+	if err := b.AddItems(len(seq)); err != nil {
+		return err
+	}
+	var n int64
+	for _, it := range seq {
+		if nd, ok := it.(*xmldom.Node); ok {
+			n += int64(nd.TreeSize())
+		}
+	}
+	return b.AddBytes(n)
+}
+
+func (rt *Runtime) intrViewNamed(name string, at time.Time, b *budget.Budget) (xq.Sequence, error) {
 	st, err := rt.storeOrErr(name)
 	if err != nil {
 		return nil, err
 	}
-	view, err := temporal.Temporalize(st, at)
+	// CaQ's whole-document materialization is metered: an oversized view
+	// aborts mid-reconstruction instead of exhausting memory first
+	view, err := temporal.TemporalizeBudget(st, at, b)
 	if err != nil {
 		return nil, err
 	}
@@ -211,7 +346,7 @@ func (rt *Runtime) intrViewNamed(name string, at time.Time) (xq.Sequence, error)
 }
 
 func (rt *Runtime) intrView(ctx *xq.Context, args []xq.Sequence) (xq.Sequence, error) {
-	return rt.intrViewNamed(argString(args, 0), ctx.Static.Now)
+	return rt.intrViewNamed(argString(args, 0), ctx.Static.Now, ctx.Static.Budget)
 }
 
 func (rt *Runtime) intrRoot(ctx *xq.Context, args []xq.Sequence) (xq.Sequence, error) {
@@ -266,10 +401,16 @@ func (rt *Runtime) intrFillers(ctx *xq.Context, args []xq.Sequence) (xq.Sequence
 				continue
 			}
 			resolved[id] = true
+			if err := ctx.Static.Budget.Step(); err != nil {
+				return nil, err
+			}
 			for _, el := range st.GetFillers(id, ctx.Static.Now) {
 				out = append(out, el)
 			}
 		}
+	}
+	if err := chargeNodes(ctx.Static.Budget, out); err != nil {
+		return nil, err
 	}
 	return out, nil
 }
@@ -313,6 +454,9 @@ func (rt *Runtime) intrFillersBatch(ctx *xq.Context, args []xq.Sequence) (xq.Seq
 	for _, el := range st.GetFillersList(ids, ctx.Static.Now) {
 		out = append(out, el)
 	}
+	if err := chargeNodes(ctx.Static.Budget, out); err != nil {
+		return nil, err
+	}
 	return out, nil
 }
 
@@ -337,6 +481,9 @@ func (rt *Runtime) intrByTSID(ctx *xq.Context, args []xq.Sequence) (xq.Sequence,
 			out = append(out, el)
 		}
 	}
+	if err := chargeNodes(ctx.Static.Budget, out); err != nil {
+		return nil, err
+	}
 	return out, nil
 }
 
@@ -359,7 +506,12 @@ func (rt *Runtime) intrIProj(ctx *xq.Context, args []xq.Sequence) (xq.Sequence, 
 	window := xtime.NewInterval(from, to)
 	at := ctx.Static.Now
 	nodes := xq.Nodes(args[0])
-	return xq.FromNodes(temporal.IntervalProjection(nodes, window, at, temporal.StoreResolver(st, at))), nil
+	resolve := temporal.BudgetResolver(ctx.Static.Budget, temporal.StoreResolver(st, at))
+	out := xq.FromNodes(temporal.IntervalProjection(nodes, window, at, resolve))
+	if err := ctx.Static.Budget.AddItems(len(out)); err != nil {
+		return nil, err
+	}
+	return out, nil
 }
 
 func endpointDateTime(seq xq.Sequence) (xtime.DateTime, bool) {
@@ -389,7 +541,12 @@ func (rt *Runtime) intrVProj(ctx *xq.Context, args []xq.Sequence) (xq.Sequence, 
 	}
 	at := ctx.Static.Now
 	nodes := xq.Nodes(args[0])
-	return xq.FromNodes(temporal.VersionProjection(nodes, window, at, temporal.StoreResolver(st, at))), nil
+	resolve := temporal.BudgetResolver(ctx.Static.Budget, temporal.StoreResolver(st, at))
+	out := xq.FromNodes(temporal.VersionProjection(nodes, window, at, resolve))
+	if err := ctx.Static.Budget.AddItems(len(out)); err != nil {
+		return nil, err
+	}
+	return out, nil
 }
 
 func endpointVersion(seq xq.Sequence) (n int, last, ok bool) {
@@ -409,8 +566,11 @@ func endpointVersion(seq xq.Sequence) (n int, last, ok bool) {
 
 // materializeResult resolves any holes left in result nodes (the final
 // Materialize of Figure 2) so every caller sees hole-free temporal XML.
-func (rt *Runtime) materializeResult(seq xq.Sequence, at time.Time) xq.Sequence {
-	resolver := rt.combinedResolver(at)
+// The resolver charges the budget, so an attack that hides its bulk
+// behind holes in the result still trips mid-materialization (the panic
+// is contained by Query.eval).
+func (rt *Runtime) materializeResult(seq xq.Sequence, at time.Time, b *budget.Budget) xq.Sequence {
+	resolver := temporal.BudgetResolver(b, rt.combinedResolver(at))
 	out := make(xq.Sequence, 0, len(seq))
 	for _, it := range seq {
 		n, ok := it.(*xmldom.Node)

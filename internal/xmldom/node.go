@@ -256,6 +256,27 @@ func (n *Node) Clone() *Node {
 	return c
 }
 
+// ShallowSize approximates the in-memory footprint of the node itself —
+// name, data and attributes plus per-node overhead — excluding children.
+// Resource budgets use it to charge materialization work as trees are
+// built element by element.
+func (n *Node) ShallowSize() int {
+	size := 48 + len(n.Name) + len(n.Data) // struct + slice headers, roughly
+	for _, a := range n.Attrs {
+		size += len(a.Name) + len(a.Value) + 16
+	}
+	return size
+}
+
+// TreeSize approximates the in-memory footprint of the whole subtree.
+func (n *Node) TreeSize() int {
+	size := n.ShallowSize()
+	for _, c := range n.Children {
+		size += c.TreeSize()
+	}
+	return size
+}
+
 // Equal reports deep structural equality ignoring parents. Attribute order
 // is significant (the wire format is deterministic).
 func (n *Node) Equal(o *Node) bool {

@@ -7,6 +7,7 @@ import (
 	"strconv"
 	"time"
 
+	"xcql/internal/budget"
 	"xcql/internal/temporal"
 	"xcql/internal/xmldom"
 	"xcql/internal/xtime"
@@ -30,6 +31,12 @@ type Static struct {
 	// Holes resolves hole ids during interval/version projections over
 	// fragment trees; nil means projections see materialized views only.
 	Holes temporal.HoleResolver
+	// Budget meters the evaluation: every expression evaluation charges a
+	// step (which also polls cancellation), loops charge cardinality, and
+	// constructors charge bytes. nil means unlimited — except the
+	// recursion-depth guard on user-declared functions, which always
+	// applies (budget.DefaultMaxDepth).
+	Budget *budget.Budget
 }
 
 // Func is a registered function implementation.
@@ -43,6 +50,7 @@ type Context struct {
 	item   Item
 	pos    int // 1-based position() inside a predicate
 	size   int // last() inside a predicate
+	depth  int // user-declared function application depth
 }
 
 type binding struct {
@@ -83,8 +91,14 @@ func (c *Context) Var(name string) (Sequence, bool) {
 	return nil, false
 }
 
-// Eval evaluates the expression in the context.
+// Eval evaluates the expression in the context. Every call charges one
+// budget step, so any expression loop — FLWOR iteration, path steps,
+// predicate application, function bodies — is cooperatively cancellable
+// and step-bounded.
 func Eval(e Expr, ctx *Context) (Sequence, error) {
+	if err := ctx.Static.Budget.Step(); err != nil {
+		return nil, err
+	}
 	switch ex := e.(type) {
 	case *Literal:
 		return Singleton(ex.Val), nil
@@ -104,6 +118,9 @@ func Eval(e Expr, ctx *Context) (Sequence, error) {
 		for _, it := range ex.Items {
 			s, err := Eval(it, ctx)
 			if err != nil {
+				return nil, err
+			}
+			if err := ctx.Static.Budget.AddItems(len(s)); err != nil {
 				return nil, err
 			}
 			out = append(out, s...)
@@ -204,6 +221,9 @@ func applyStep(input Sequence, step Step, ctx *Context) (Sequence, error) {
 			continue // axis steps only apply to nodes
 		}
 		matches := stepMatches(n, step, ctx.Static.Holes)
+		if err := ctx.Static.Budget.AddItems(len(matches)); err != nil {
+			return nil, err
+		}
 		filtered, err := applyPredicates(matches, step.Preds, ctx)
 		if err != nil {
 			return nil, err
@@ -620,6 +640,12 @@ func evalFLWOR(fl *FLWOR, ctx *Context) (Sequence, error) {
 					keys = append(keys, nil)
 				}
 			}
+			// each surviving tuple is intermediate cardinality: an
+			// unbounded cross join trips MaxItems here, before the
+			// return clause ever runs
+			if err := ctx.Static.Budget.AddItems(1); err != nil {
+				return err
+			}
 			tuples = append(tuples, tuple{ctx: c, keys: keys})
 			return nil
 		}
@@ -684,6 +710,9 @@ func evalFLWOR(fl *FLWOR, ctx *Context) (Sequence, error) {
 		if err != nil {
 			return nil, err
 		}
+		if err := ctx.Static.Budget.AddItems(len(v)); err != nil {
+			return nil, err
+		}
 		out = append(out, v...)
 	}
 	return out, nil
@@ -731,13 +760,20 @@ func evalModule(m *Module, ctx *Context) (Sequence, error) {
 
 // makeUserFunc closes a declaration into a callable: parameters become
 // the only variable bindings visible in the body (standard XQuery
-// function scoping).
+// function scoping). Application depth is guarded — self-recursive
+// declarations would otherwise grow the goroutine stack until the
+// process dies — against Budget.MaxDepth, or budget.DefaultMaxDepth
+// when no budget is configured.
 func makeUserFunc(fd FuncDecl) Func {
 	return func(ctx *Context, args []Sequence) (Sequence, error) {
 		if len(args) != len(fd.Params) {
 			return nil, fmt.Errorf("xq: %s() wants %d argument(s), got %d", fd.Name, len(fd.Params), len(args))
 		}
-		c := &Context{Static: ctx.Static}
+		depth := ctx.depth + 1
+		if err := ctx.Static.Budget.CheckDepth(depth); err != nil {
+			return nil, fmt.Errorf("xq: %s(): %w", fd.Name, err)
+		}
+		c := &Context{Static: ctx.Static, depth: depth}
 		for i, p := range fd.Params {
 			c = c.Bind(p, args[i])
 		}
@@ -797,6 +833,15 @@ func evalElemCtor(ct *ElemCtor, ctx *Context) (Sequence, error) {
 		v, err := Eval(ce, ctx)
 		if err != nil {
 			return nil, err
+		}
+		// constructor content is deep-copied into the new element; charge
+		// the copy so result construction cannot outgrow the byte budget
+		for _, it := range v {
+			if n, ok := it.(*xmldom.Node); ok {
+				if err := ctx.Static.Budget.AddBytes(int64(n.TreeSize())); err != nil {
+					return nil, err
+				}
+			}
 		}
 		content = append(content, v...)
 	}

@@ -1,0 +1,110 @@
+package xq
+
+import (
+	"context"
+	"errors"
+	"testing"
+
+	"xcql/internal/budget"
+)
+
+// withBudget returns a Static mutator installing a budget with the given
+// limits under a background context.
+func withBudget(lim budget.Limits) func(*Static) {
+	return func(s *Static) { s.Budget = budget.New(context.Background(), lim) }
+}
+
+func wantLimit(t *testing.T, err error, limit string) *budget.ResourceError {
+	t.Helper()
+	if err == nil {
+		t.Fatalf("want %s limit error, got nil", limit)
+	}
+	var re *budget.ResourceError
+	if !errors.As(err, &re) {
+		t.Fatalf("want *budget.ResourceError, got %T: %v", err, err)
+	}
+	if re.Limit != limit {
+		t.Fatalf("want tripped limit %q, got %q (%v)", limit, re.Limit, re)
+	}
+	return re
+}
+
+// A self-recursive user function must return a depth-limit error instead
+// of crashing the process — even with no budget installed at all, since
+// DefaultMaxDepth applies to the nil budget.
+func TestRecursionDepthGuardWithoutBudget(t *testing.T) {
+	_, err := tryRun(`declare function f($x) { f($x) }; f(1)`)
+	wantLimit(t, err, budget.LimitDepth)
+}
+
+func TestRecursionDepthGuardCustom(t *testing.T) {
+	_, err := tryRun(
+		`declare function f($x) { if ($x = 0) then 0 else f($x - 1) }; f(100)`,
+		withBudget(budget.Limits{MaxDepth: 10}),
+	)
+	re := wantLimit(t, err, budget.LimitDepth)
+	if re.Max != 10 {
+		t.Fatalf("want depth max 10, got %d", re.Max)
+	}
+
+	// Under the bound the same function succeeds.
+	seq, err := tryRun(
+		`declare function f($x) { if ($x = 0) then 0 else f($x - 1) }; f(5)`,
+		withBudget(budget.Limits{MaxDepth: 10}),
+	)
+	if err != nil {
+		t.Fatalf("recursion within bound: %v", err)
+	}
+	if asStrings(seq) != "0" {
+		t.Fatalf("want 0, got %s", asStrings(seq))
+	}
+}
+
+func TestStepLimitTripsNestedLoops(t *testing.T) {
+	_, err := tryRun(
+		`for $a in $doc//* for $b in $doc//* for $c in $doc//* return $a`,
+		withBudget(budget.Limits{MaxSteps: 500}),
+	)
+	wantLimit(t, err, budget.LimitSteps)
+}
+
+func TestItemLimitTripsCrossJoin(t *testing.T) {
+	_, err := tryRun(
+		`for $a in $doc//* for $b in $doc//* return $b`,
+		withBudget(budget.Limits{MaxItems: 40}),
+	)
+	wantLimit(t, err, budget.LimitItems)
+}
+
+func TestByteLimitTripsConstruction(t *testing.T) {
+	_, err := tryRun(
+		`for $t in $doc//transaction return <copy>{$t}</copy>`,
+		withBudget(budget.Limits{MaxBytes: 64}),
+	)
+	wantLimit(t, err, budget.LimitBytes)
+}
+
+func TestCancellationAbortsEvaluation(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel() // already canceled: the first poll must surface it
+	_, err := tryRun(
+		`for $a in $doc//* for $b in $doc//* for $c in $doc//* return $a`,
+		func(s *Static) { s.Budget = budget.New(ctx, budget.Limits{}) },
+	)
+	re := wantLimit(t, err, budget.LimitCanceled)
+	if !errors.Is(re, context.Canceled) {
+		t.Fatalf("want errors.Is(err, context.Canceled), got %v", re)
+	}
+}
+
+// Queries comfortably inside their budget still evaluate identically.
+func TestBudgetedEvaluationMatchesUnbudgeted(t *testing.T) {
+	const src = `for $t in $doc//transaction where number($t/amount) > 1000 return string($t/vendor)`
+	plain := run(t, src)
+	budgeted := run(t, src, withBudget(budget.Limits{
+		MaxSteps: 100000, MaxItems: 100000, MaxBytes: 1 << 20, MaxDepth: 50,
+	}))
+	if asStrings(plain) != asStrings(budgeted) {
+		t.Fatalf("budgeted result diverged: %s vs %s", asStrings(plain), asStrings(budgeted))
+	}
+}

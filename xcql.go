@@ -30,11 +30,13 @@
 package xcql
 
 import (
+	"context"
 	"fmt"
 	"net"
 	"strings"
 	"time"
 
+	"xcql/internal/budget"
 	"xcql/internal/fragment"
 	"xcql/internal/stream"
 	"xcql/internal/tagstruct"
@@ -50,8 +52,23 @@ import (
 type (
 	// Mode selects the physical plan: CaQ, QaC or QaCPlus.
 	Mode = ixcql.Mode
-	// Query is a compiled XCQL query bound to an engine.
+	// Query is a compiled XCQL query bound to an engine. Set Query.Limits
+	// and evaluate with Query.EvalContext for governed execution.
 	Query = ixcql.Query
+	// Limits bounds one evaluation: MaxSteps, MaxDepth, MaxItems,
+	// MaxBytes and a Timeout deadline. The zero value is unlimited except
+	// recursion depth, which defaults to DefaultMaxDepth.
+	Limits = ixcql.Limits
+	// ResourceError reports which limit an evaluation tripped; it unwraps
+	// to context.Canceled/DeadlineExceeded for cancellation trips.
+	ResourceError = budget.ResourceError
+	// EvalError is the engine boundary's structured failure: query text,
+	// plan, and the underlying cause (a *ResourceError for limit trips, a
+	// recovered panic with Stack set for evaluator bugs).
+	EvalError = ixcql.EvalError
+	// OverloadError is the admission-control rejection issued when the
+	// engine already runs its maximum of concurrent evaluations.
+	OverloadError = ixcql.OverloadError
 	// TagStructure is the structural summary driving fragmentation and
 	// translation (§4.1 of the paper).
 	TagStructure = tagstruct.Structure
@@ -121,6 +138,21 @@ const (
 	Temporal = tagstruct.Temporal
 	Event    = tagstruct.Event
 )
+
+// Resource-limit kinds, reported in ResourceError.Limit.
+const (
+	LimitSteps    = budget.LimitSteps
+	LimitDepth    = budget.LimitDepth
+	LimitItems    = budget.LimitItems
+	LimitBytes    = budget.LimitBytes
+	LimitTimeout  = budget.LimitTimeout
+	LimitCanceled = budget.LimitCanceled
+)
+
+// DefaultMaxDepth is the recursion-depth bound applied to user-declared
+// functions when Limits.MaxDepth is unset: runaway self-recursion
+// returns a depth ResourceError instead of crashing the process.
+const DefaultMaxDepth = budget.DefaultMaxDepth
 
 // ParseMode parses a plan name ("CaQ", "QaC", "QaC+").
 func ParseMode(s string) (Mode, error) { return ixcql.ParseMode(s) }
@@ -196,6 +228,28 @@ func (e *Engine) Eval(src string, at time.Time) (Sequence, error) {
 	}
 	return q.Eval(at)
 }
+
+// EvalContext compiles and runs a query once under a context and limits,
+// using the QaC+ plan: cancelling ctx (or exceeding lim) aborts the
+// evaluation cooperatively with a structured *EvalError.
+func (e *Engine) EvalContext(ctx context.Context, src string, at time.Time, lim Limits) (Sequence, error) {
+	q, err := e.Compile(src, QaCPlus)
+	if err != nil {
+		return nil, err
+	}
+	return q.EvalLimits(ctx, at, lim)
+}
+
+// ResourceCause returns the tripped resource limit behind err, if any:
+// a convenience over errors.As for the common "which limit killed this
+// evaluation" question.
+func ResourceCause(err error) (*ResourceError, bool) { return ixcql.ResourceCause(err) }
+
+// SetMaxConcurrentEvals bounds concurrent query evaluations across the
+// engine (n <= 0 means unlimited). Over the bound, evaluations are
+// rejected fast with an *OverloadError instead of queuing unboundedly —
+// admission control for heavily loaded servers.
+func (e *Engine) SetMaxConcurrentEvals(n int) { e.rt.SetMaxConcurrentEvals(n) }
 
 // MaterializeView reconstructs the full temporal view of a stream at the
 // evaluation instant (the paper's temporalize, §5).
