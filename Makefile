@@ -2,9 +2,9 @@
 GO       ?= go
 FUZZTIME ?= 10s
 
-.PHONY: check vet static build test race fuzz-smoke bench
+.PHONY: check vet static build test race race-stream fuzz-smoke bench bench-json
 
-check: vet static build race fuzz-smoke
+check: vet static build race race-stream fuzz-smoke
 
 vet:
 	$(GO) vet ./...
@@ -27,6 +27,11 @@ test:
 race:
 	$(GO) test -race -timeout 120s ./...
 
+# The stream package holds the timing-sensitive reliability/chaos tests;
+# a second -count=2 pass under the race detector is the deflake gate.
+race-stream:
+	$(GO) test -race -count=2 -timeout 120s ./internal/stream
+
 # A short deterministic shake of each fuzz target; longer runs are
 # `make fuzz-smoke FUZZTIME=5m`. `-run '^$'` skips the unit tests that
 # already ran under `race`.
@@ -38,3 +43,11 @@ fuzz-smoke:
 
 bench:
 	$(GO) test -bench=. -benchmem
+
+# Snapshot the Figure-4 + selectivity benchmarks (quick scales) as JSON,
+# cost counters included — the cross-PR performance trajectory. Compare
+# snapshots with e.g. `jq` over BENCH_*.json.
+BENCHOUT ?= BENCH_pr3.json
+bench-json:
+	$(GO) test -run '^$$' -bench '^(BenchmarkFigure4|BenchmarkSelectivity)$$' -benchmem -short . \
+		| $(GO) run ./cmd/benchjson > $(BENCHOUT)

@@ -73,10 +73,25 @@ func BenchmarkFigure4(b *testing.B) {
 							b.Fatal(err)
 						}
 					}
+					b.StopTimer()
+					reportCostMetrics(b, q)
 				})
 			}
 		}
 	}
+}
+
+// reportCostMetrics attaches the last evaluation's cost counters to the
+// benchmark output, so BENCH_*.json tracks the paper's cost quantities
+// (fillers scanned, holes resolved, tsid hits, bytes materialized) next
+// to wall time across PRs.
+func reportCostMetrics(b *testing.B, q *ixcql.Query) {
+	b.Helper()
+	s := q.LastStats()
+	b.ReportMetric(float64(s.FillersScanned), "fillers/op")
+	b.ReportMetric(float64(s.HolesResolved), "holes/op")
+	b.ReportMetric(float64(s.TSIDIndexHits), "tsid-hits/op")
+	b.ReportMetric(float64(s.BytesMaterialized), "mat-bytes/op")
 }
 
 // BenchmarkFigure4Indexed is the indexing ablation: the same cells over
@@ -102,6 +117,8 @@ func BenchmarkFigure4Indexed(b *testing.B) {
 						b.Fatal(err)
 					}
 				}
+				b.StopTimer()
+				reportCostMetrics(b, q)
 			})
 		}
 	}
@@ -132,10 +149,51 @@ func BenchmarkSelectivity(b *testing.B) {
 						b.Fatal(err)
 					}
 				}
+				b.StopTimer()
+				reportCostMetrics(b, q)
 			})
 		}
 	}
 }
+
+// BenchmarkTraceOverhead guards the "tracing off costs nothing" claim:
+// the same evaluation with the sink disabled and enabled. The disabled
+// run must match the untraced baseline (no extra allocations on the
+// nil-sink path); the enabled run shows the price of collection.
+func BenchmarkTraceOverhead(b *testing.B) {
+	for _, traced := range []bool{false, true} {
+		name := "disabled"
+		if traced {
+			name = "enabled"
+		}
+		b.Run(name, func(b *testing.B) {
+			ds, err := evalbench.Build(0, false)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if traced {
+				ds.Runtime.SetTraceSink(&collectNothingSink{})
+			}
+			q, err := ds.Runtime.Compile(xmark.QueryQ1(), ixcql.QaCPlus)
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := q.Eval(evalbench.EvalInstant); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// collectNothingSink is the cheapest possible sink, so the enabled cell
+// measures the engine's emission cost rather than span storage.
+type collectNothingSink struct{}
+
+func (collectNothingSink) Span(string, string, time.Time, time.Duration) {}
 
 // BenchmarkGranularity compares fragmentation granularities of the same
 // document — §4's "reasonable fragmentation" trade-off. Finer cuts cost

@@ -1,0 +1,118 @@
+// Command benchjson converts `go test -bench` output on stdin into a
+// JSON array on stdout, one record per benchmark result line. The
+// Makefile's bench-json target pipes the Figure-4 and selectivity
+// benchmarks through it to snapshot the performance trajectory
+// (BENCH_*.json) across PRs, cost counters included.
+//
+// Usage:
+//
+//	go test -bench 'BenchmarkFigure4$' -benchmem . | go run ./cmd/benchjson
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+)
+
+// Record is one benchmark result. NsPerOp duplicates Metrics["ns/op"]
+// for convenience; every other `value unit` pair lands in Metrics
+// verbatim (B/op, allocs/op, fillers/op, …).
+type Record struct {
+	Name       string             `json:"name"`
+	Bench      string             `json:"bench"`
+	Query      string             `json:"query,omitempty"`
+	Scale      *float64           `json:"scale,omitempty"`
+	Plan       string             `json:"plan,omitempty"`
+	Iterations int64              `json:"iterations"`
+	NsPerOp    float64            `json:"ns_per_op"`
+	Metrics    map[string]float64 `json:"metrics"`
+}
+
+func main() {
+	records, err := parse(bufio.NewScanner(os.Stdin))
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+	enc := json.NewEncoder(os.Stdout)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(records); err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+}
+
+func parse(sc *bufio.Scanner) ([]Record, error) {
+	sc.Buffer(make([]byte, 0, 1<<20), 1<<20)
+	records := []Record{}
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if !strings.HasPrefix(line, "Benchmark") {
+			continue
+		}
+		fields := strings.Fields(line)
+		// Name iterations {value unit}... — anything shorter is a header
+		// or a failure line, not a result.
+		if len(fields) < 4 {
+			continue
+		}
+		iters, err := strconv.ParseInt(fields[1], 10, 64)
+		if err != nil {
+			continue
+		}
+		r := Record{
+			Name:       trimProcs(strings.TrimPrefix(fields[0], "Benchmark")),
+			Iterations: iters,
+			Metrics:    map[string]float64{},
+		}
+		r.Bench, r.Query, r.Scale, r.Plan = dissect(r.Name)
+		for i := 2; i+1 < len(fields); i += 2 {
+			v, err := strconv.ParseFloat(fields[i], 64)
+			if err != nil {
+				return nil, fmt.Errorf("bad value %q in %q", fields[i], line)
+			}
+			r.Metrics[fields[i+1]] = v
+		}
+		r.NsPerOp = r.Metrics["ns/op"]
+		records = append(records, r)
+	}
+	return records, sc.Err()
+}
+
+// trimProcs drops the trailing -GOMAXPROCS suffix go test appends to the
+// benchmark name (Figure4/Q1/sf=0/QaC+-8 → Figure4/Q1/sf=0/QaC+).
+func trimProcs(name string) string {
+	i := strings.LastIndex(name, "-")
+	if i < 0 {
+		return name
+	}
+	if _, err := strconv.Atoi(name[i+1:]); err != nil {
+		return name
+	}
+	return name[:i]
+}
+
+// dissect pulls the structured coordinates out of a sub-benchmark path:
+// the leading benchmark name, a Q* segment as the query, an sf= segment
+// as the scale, and a plan-name segment as the plan.
+func dissect(name string) (bench, query string, scale *float64, plan string) {
+	segs := strings.Split(name, "/")
+	bench = segs[0]
+	for _, s := range segs[1:] {
+		switch {
+		case strings.HasPrefix(s, "sf="):
+			if v, err := strconv.ParseFloat(s[3:], 64); err == nil {
+				scale = &v
+			}
+		case s == "CaQ" || s == "QaC" || s == "QaC+":
+			plan = s
+		case len(s) >= 2 && s[0] == 'Q' && s[1] >= '0' && s[1] <= '9':
+			query = s
+		}
+	}
+	return bench, query, scale, plan
+}

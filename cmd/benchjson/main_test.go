@@ -1,0 +1,61 @@
+package main
+
+import (
+	"bufio"
+	"strings"
+	"testing"
+)
+
+const sample = `goos: linux
+goarch: amd64
+pkg: xcql
+BenchmarkFigure4/Q1/sf=0.005/QaC+-8   	     100	    110705 ns/op	  24072 B/op	     503 allocs/op	  193 fillers/op	  2 holes/op
+BenchmarkFigure4/Q1/sf=0.005/CaQ-8    	      10	   9107050 ns/op	 240720 B/op	    5030 allocs/op
+BenchmarkSelectivity/price>=40/QaC-8  	      50	    220000 ns/op
+PASS
+ok  	xcql	1.234s
+`
+
+func TestParse(t *testing.T) {
+	recs, err := parse(bufio.NewScanner(strings.NewReader(sample)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 3 {
+		t.Fatalf("got %d records, want 3", len(recs))
+	}
+	r := recs[0]
+	if r.Name != "Figure4/Q1/sf=0.005/QaC+" {
+		t.Errorf("Name = %q", r.Name)
+	}
+	if r.Bench != "Figure4" || r.Query != "Q1" || r.Plan != "QaC+" {
+		t.Errorf("dissect = %q/%q/%q", r.Bench, r.Query, r.Plan)
+	}
+	if r.Scale == nil || *r.Scale != 0.005 {
+		t.Errorf("Scale = %v", r.Scale)
+	}
+	if r.Iterations != 100 || r.NsPerOp != 110705 {
+		t.Errorf("iters/ns = %d/%v", r.Iterations, r.NsPerOp)
+	}
+	if r.Metrics["fillers/op"] != 193 || r.Metrics["holes/op"] != 2 {
+		t.Errorf("cost metrics = %v", r.Metrics)
+	}
+	if recs[1].Plan != "CaQ" {
+		t.Errorf("rec1 plan = %q", recs[1].Plan)
+	}
+	if recs[2].Bench != "Selectivity" || recs[2].Plan != "QaC" || recs[2].Query != "" {
+		t.Errorf("rec2 = %+v", recs[2])
+	}
+}
+
+func TestTrimProcs(t *testing.T) {
+	for in, want := range map[string]string{
+		"Figure4/Q1/QaC+-8": "Figure4/Q1/QaC+",
+		"Figure4/Q1/QaC+":   "Figure4/Q1/QaC+",
+		"XMLParse-16":       "XMLParse",
+	} {
+		if got := trimProcs(in); got != want {
+			t.Errorf("trimProcs(%q) = %q, want %q", in, got, want)
+		}
+	}
+}

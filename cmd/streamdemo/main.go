@@ -7,6 +7,9 @@
 //	streamdemo -events 50     # more charge events
 //	streamdemo -chaos         # inject drops/dups/reorders/resets into the wire
 //	streamdemo -chaos -seed 7 # a different (but reproducible) fault schedule
+//	streamdemo -metrics 127.0.0.1:9190
+//	                          # expose /metrics (live counters) and
+//	                          # /debug/pprof while the demo runs
 //
 // In -chaos mode the transport deliberately misbehaves under a seeded
 // RNG; the run then demonstrates the reliability layer: gap events are
@@ -21,6 +24,9 @@ import (
 	"log"
 	"math/rand"
 	"net"
+	"net/http"
+	"net/http/pprof"
+	"os"
 	"time"
 
 	"xcql"
@@ -44,10 +50,13 @@ func main() {
 	events := flag.Int("events", 10, "number of charge events to stream")
 	chaos := flag.Bool("chaos", false, "inject transport faults: drops, duplicates, reorders, mid-frame resets")
 	seed := flag.Int64("seed", 1, "RNG seed for the fault schedule and reconnect jitter")
+	metricsAddr := flag.String("metrics", "", "serve /metrics and /debug/pprof on this address (e.g. 127.0.0.1:9190)")
 	flag.Parse()
 
 	structure := xcql.MustParseTagStructure(structureXML)
 	server := xcql.NewServer("credit", structure)
+	registry := xcql.NewRegistry()
+	server.RegisterMetrics(registry, "server")
 
 	ln, err := net.Listen("tcp", "127.0.0.1:0")
 	if err != nil {
@@ -64,6 +73,7 @@ func main() {
 			ResetEvery:  13,
 		})
 		serveOpts.Faults = injector
+		injector.RegisterMetrics(registry, "fault")
 		fmt.Printf("chaos mode: seed=%d (drop 10%%, dup 5%%, reorder 5%%, reset every 13 frames)\n", *seed)
 	}
 	go func() { _ = xcql.ServeTCPOptions(server, ln, serveOpts) }()
@@ -81,7 +91,26 @@ func main() {
 	}
 	defer client.Close()
 	client.OnGap(func(g xcql.Gap) { fmt.Printf("  !! %s\n", g) })
+	client.RegisterMetrics(registry, "client")
 	fmt.Printf("client registered with stream %q (structure delivered in the handshake)\n", client.Name())
+
+	// one registry holds the whole pipeline — server, transport faults
+	// and client — and doubles as the /metrics handler
+	if *metricsAddr != "" {
+		mux := http.NewServeMux()
+		mux.Handle("/metrics", registry)
+		mux.HandleFunc("/debug/pprof/", pprof.Index)
+		mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+		mln, err := net.Listen("tcp", *metricsAddr)
+		if err != nil {
+			log.Fatal(err)
+		}
+		go func() { _ = http.Serve(mln, mux) }()
+		fmt.Printf("metrics on http://%s/metrics (pprof under /debug/pprof/)\n", mln.Addr())
+	}
 
 	engine := xcql.NewEngine()
 	engine.AttachClient(client)
@@ -156,4 +185,6 @@ func main() {
 	} else {
 		fmt.Println("stream healthy: every published fragment accounted for")
 	}
+	fmt.Println("final metric exposition:")
+	_, _ = registry.WriteTo(os.Stdout)
 }

@@ -32,6 +32,8 @@ func main() {
 	atStr := flag.String("at", "now", "evaluation instant (ISO-8601 or 'now')")
 	showPlan := flag.Bool("plan", false, "print the translated plan instead of evaluating")
 	queryFile := flag.String("f", "", "read the query from a file instead of argv")
+	showTrace := flag.Bool("trace", false, "dump the parse→translate→execute→materialize timeline to stderr")
+	showStats := flag.Bool("stats", false, "print the evaluation's cost counters to stderr")
 	flag.Parse()
 
 	query, err := readQuery(*queryFile, flag.Args())
@@ -60,6 +62,11 @@ func main() {
 		_ = structure
 		engine.RegisterStore(*streamName, store)
 	}
+	var sink *xcql.CollectorSink
+	if *showTrace {
+		sink = &xcql.CollectorSink{}
+		engine.SetTraceSink(sink)
+	}
 	q, err := engine.Compile(query, mode)
 	if err != nil {
 		fatal(err)
@@ -76,6 +83,13 @@ func main() {
 	elapsed := time.Since(start)
 	fmt.Println(xcql.FormatSequence(seq))
 	fmt.Fprintf(os.Stderr, "%d item(s), %s plan, %v\n", len(seq), mode, elapsed)
+	if *showStats {
+		stats := q.LastStats()
+		fmt.Fprintln(os.Stderr, stats.String())
+	}
+	if sink != nil {
+		fmt.Fprint(os.Stderr, sink.Timeline())
+	}
 }
 
 func readQuery(file string, args []string) (string, error) {

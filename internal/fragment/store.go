@@ -164,6 +164,19 @@ func (st *Store) scanBy(attr string, value int) []*Fragment {
 	return out
 }
 
+// LookupCost reports how many stored filler versions one lookup pass
+// examined: the whole fragment log under the scan cost model (the
+// paper's predicate scan evaluates its filter against every <filler>
+// element), or just the returned versions on the indexed store. The
+// observability layer charges this per store pass so EvalStats'
+// FillersScanned reproduces the access cost Figure 4 measures.
+func (st *Store) LookupCost(returned int) int {
+	if st.scan {
+		return st.Len()
+	}
+	return returned
+}
+
 // Root returns the latest version of the root filler, or nil before it
 // arrives.
 func (st *Store) Root() *Fragment {

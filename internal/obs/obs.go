@@ -1,0 +1,321 @@
+// Package obs is the engine's observability layer: per-evaluation cost
+// counters (EvalStats), a lightweight span-trace API (TraceSink), and a
+// process-level metrics registry (Registry) with an expvar-style text
+// exposition.
+//
+// The paper's evaluation (§7, Figure 4) rests on a mechanism claim — the
+// plans differ in how many fillers they touch, how many holes they
+// resolve and how much of the document they materialize — and EvalStats
+// makes those quantities first-class observables instead of inferring
+// them from wall time. The counters map onto the paper like this:
+//
+//	FillersScanned    filler versions examined by store lookups; under
+//	                  the scan cost model every get_fillers pass examines
+//	                  the whole fragment log, which is exactly the access
+//	                  cost Figure 4 measures
+//	HolesResolved     get_fillers resolutions (the paper's hole/filler
+//	                  reconciliations)
+//	TSIDIndexHits     filler versions fetched straight from the tsid
+//	                  index — the QaC+ shortcut; zero under CaQ and QaC
+//	BytesMaterialized approximate bytes of XML cloned/constructed during
+//	                  the evaluation (CaQ's whole-view construction
+//	                  dominates here)
+//	NodesConstructed  elements built by reconstruction and constructors
+//
+// A nil *EvalStats is valid and means "not collecting": every method is
+// nil-receiver safe so instrumented call sites need no guards, mirroring
+// the budget package. An EvalStats is owned by one evaluation and is not
+// safe for concurrent use; snapshots taken after the evaluation are plain
+// values.
+package obs
+
+import (
+	"fmt"
+	"io"
+	"net/http"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// EvalStats are the cost counters of one query evaluation. The engine
+// populates them on every Eval/EvalContext call; read them back with
+// Query.LastStats or Engine.EvalContextStats.
+type EvalStats struct {
+	// Plan is the physical plan that ran ("CaQ", "QaC", "QaC+").
+	Plan string
+
+	// FillersScanned counts filler versions examined by store lookups.
+	// On a scan store every lookup pass examines the whole fragment log
+	// (the paper's predicate-scan cost model); on an indexed store only
+	// the returned versions are examined.
+	FillersScanned int64
+	// HolesResolved counts hole-id resolutions (get_fillers calls,
+	// projection-time hole crossings, result materialization).
+	HolesResolved int64
+	// TSIDLookups counts tsid-index fetches issued (QaC+ descendant
+	// steps); TSIDIndexHits is the filler versions they returned and
+	// TSIDIndexMisses the lookups that found none.
+	TSIDLookups     int64
+	TSIDIndexHits   int64
+	TSIDIndexMisses int64
+	// BytesMaterialized approximates the bytes of XML materialized during
+	// the evaluation: temporal views, resolved filler clones, constructed
+	// elements. Mirrors the byte budget's accounting.
+	BytesMaterialized int64
+	// NodesConstructed counts elements built: reconstruction copies and
+	// element constructors.
+	NodesConstructed int64
+	// Steps and Items are the cooperative work units and sequence
+	// cardinality charged to the evaluation's budget.
+	Steps int64
+	Items int64
+
+	// Per-phase wall times. Parse and Translate are compile-time and
+	// copied from the owning query; Exec and Materialize are measured per
+	// evaluation; Total = Exec + Materialize.
+	ParseTime       time.Duration
+	TranslateTime   time.Duration
+	ExecTime        time.Duration
+	MaterializeTime time.Duration
+	TotalTime       time.Duration
+}
+
+// AddFillers records n filler versions examined by a store lookup.
+func (s *EvalStats) AddFillers(n int) {
+	if s != nil {
+		s.FillersScanned += int64(n)
+	}
+}
+
+// AddHoles records n hole resolutions.
+func (s *EvalStats) AddHoles(n int) {
+	if s != nil {
+		s.HolesResolved += int64(n)
+	}
+}
+
+// AddTSIDLookup records one tsid-index fetch that returned `fillers`
+// versions.
+func (s *EvalStats) AddTSIDLookup(fillers int) {
+	if s == nil {
+		return
+	}
+	s.TSIDLookups++
+	if fillers > 0 {
+		s.TSIDIndexHits += int64(fillers)
+	} else {
+		s.TSIDIndexMisses++
+	}
+}
+
+// AddNodes records n constructed elements.
+func (s *EvalStats) AddNodes(n int) {
+	if s != nil {
+		s.NodesConstructed += int64(n)
+	}
+}
+
+// String renders the counters on one line, for logs and CLI output.
+func (s *EvalStats) String() string {
+	if s == nil {
+		return "<no stats>"
+	}
+	return fmt.Sprintf(
+		"plan=%s fillers-scanned=%d holes-resolved=%d tsid-hits=%d tsid-misses=%d bytes=%d nodes=%d steps=%d items=%d exec=%v materialize=%v",
+		s.Plan, s.FillersScanned, s.HolesResolved, s.TSIDIndexHits, s.TSIDIndexMisses,
+		s.BytesMaterialized, s.NodesConstructed, s.Steps, s.Items,
+		s.ExecTime.Round(time.Microsecond), s.MaterializeTime.Round(time.Microsecond))
+}
+
+// --- tracing ---------------------------------------------------------------
+
+// TraceSink receives completed spans from the engine: one call per phase
+// (parse, translate, compile, execute, materialize, eval) with its wall
+// clock interval. Implementations must be safe for concurrent use; the
+// engine calls them from whatever goroutine evaluates. Tracing is off by
+// default (nil sink) and the disabled path performs no allocation.
+type TraceSink interface {
+	Span(name, detail string, start time.Time, d time.Duration)
+}
+
+// SpanRecord is one collected span.
+type SpanRecord struct {
+	Name   string
+	Detail string
+	Start  time.Time
+	Dur    time.Duration
+}
+
+// CollectorSink accumulates spans in memory; cmd/xcqlrun -trace uses it
+// to dump a query timeline after the run.
+type CollectorSink struct {
+	mu    sync.Mutex
+	spans []SpanRecord
+}
+
+// Span implements TraceSink.
+func (c *CollectorSink) Span(name, detail string, start time.Time, d time.Duration) {
+	c.mu.Lock()
+	c.spans = append(c.spans, SpanRecord{Name: name, Detail: detail, Start: start, Dur: d})
+	c.mu.Unlock()
+}
+
+// Spans returns the collected spans in completion order.
+func (c *CollectorSink) Spans() []SpanRecord {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	out := make([]SpanRecord, len(c.spans))
+	copy(out, c.spans)
+	return out
+}
+
+// Reset drops the collected spans.
+func (c *CollectorSink) Reset() {
+	c.mu.Lock()
+	c.spans = nil
+	c.mu.Unlock()
+}
+
+// Timeline renders the collected spans as an indented timeline with
+// offsets relative to the earliest span start.
+func (c *CollectorSink) Timeline() string {
+	spans := c.Spans()
+	if len(spans) == 0 {
+		return "(no spans)"
+	}
+	epoch := spans[0].Start
+	for _, sp := range spans {
+		if sp.Start.Before(epoch) {
+			epoch = sp.Start
+		}
+	}
+	ordered := make([]SpanRecord, len(spans))
+	copy(ordered, spans)
+	sort.SliceStable(ordered, func(i, j int) bool { return ordered[i].Start.Before(ordered[j].Start) })
+	var b strings.Builder
+	for _, sp := range ordered {
+		fmt.Fprintf(&b, "%10s +%-12v %-12v %s\n",
+			sp.Name, sp.Start.Sub(epoch).Round(time.Microsecond), sp.Dur.Round(time.Microsecond), sp.Detail)
+	}
+	return b.String()
+}
+
+// WriterSink streams spans as text lines to w as they complete.
+type WriterSink struct {
+	mu sync.Mutex
+	W  io.Writer
+}
+
+// Span implements TraceSink.
+func (ws *WriterSink) Span(name, detail string, start time.Time, d time.Duration) {
+	ws.mu.Lock()
+	fmt.Fprintf(ws.W, "trace %-12s %-12v %s\n", name, d.Round(time.Microsecond), detail)
+	ws.mu.Unlock()
+}
+
+// --- process-level metrics registry ----------------------------------------
+
+// Counter is a monotonically increasing process-level counter. Safe for
+// concurrent use.
+type Counter struct{ v atomic.Int64 }
+
+// Add increments the counter by n.
+func (c *Counter) Add(n int64) { c.v.Add(n) }
+
+// Inc increments the counter by one.
+func (c *Counter) Inc() { c.v.Add(1) }
+
+// Value returns the current value.
+func (c *Counter) Value() int64 { return c.v.Load() }
+
+// Registry is a named set of counters and gauges with an expvar-style
+// text exposition. One process typically owns one registry and points
+// the stream server/client metrics plus any engine counters at it; the
+// registry is then exposed over HTTP (it implements http.Handler) or
+// dumped with WriteTo.
+type Registry struct {
+	mu       sync.Mutex
+	counters map[string]*Counter
+	gauges   map[string]func() int64
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{
+		counters: make(map[string]*Counter),
+		gauges:   make(map[string]func() int64),
+	}
+}
+
+// Counter returns the counter registered under name, creating it on
+// first use.
+func (r *Registry) Counter(name string) *Counter {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	c, ok := r.counters[name]
+	if !ok {
+		c = &Counter{}
+		r.counters[name] = c
+	}
+	return c
+}
+
+// Gauge registers a read-on-demand gauge under name, replacing any
+// previous registration. The function is called at exposition time and
+// must be safe for concurrent use.
+func (r *Registry) Gauge(name string, fn func() int64) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.gauges[name] = fn
+}
+
+// Each calls fn for every metric in name order.
+func (r *Registry) Each(fn func(name string, value int64)) {
+	r.mu.Lock()
+	names := make([]string, 0, len(r.counters)+len(r.gauges))
+	vals := make(map[string]func() int64, len(r.counters)+len(r.gauges))
+	for n, c := range r.counters {
+		names = append(names, n)
+		vals[n] = c.Value
+	}
+	for n, g := range r.gauges {
+		if _, dup := vals[n]; !dup {
+			names = append(names, n)
+		}
+		vals[n] = g // a gauge shadows a same-named counter
+	}
+	r.mu.Unlock()
+	sort.Strings(names)
+	for _, n := range names {
+		fn(n, vals[n]())
+	}
+}
+
+// WriteTo writes the exposition ("name value\n" per metric, sorted) to w.
+func (r *Registry) WriteTo(w io.Writer) (int64, error) {
+	var total int64
+	var werr error
+	r.Each(func(name string, value int64) {
+		if werr != nil {
+			return
+		}
+		n, err := fmt.Fprintf(w, "%s %d\n", name, value)
+		total += int64(n)
+		werr = err
+	})
+	return total, werr
+}
+
+// ServeHTTP exposes the registry as text/plain, so a Registry can be
+// mounted directly on an HTTP mux (e.g. next to /debug/pprof).
+func (r *Registry) ServeHTTP(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	_, _ = r.WriteTo(w)
+}
+
+// Default is the process-wide registry commands use unless they build
+// their own.
+var Default = NewRegistry()

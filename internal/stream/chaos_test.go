@@ -108,10 +108,15 @@ func TestChaosConvergence(t *testing.T) {
 	cq.Clock = func() time.Time { return ts("2003-06-01T00:00:00") }
 	cq.Attach(c)
 
-	// live publish: fragments race the faults in flight
+	// live publish: fragments race the faults in flight. Pacing is
+	// condition-based: wait (briefly) for the injector to see the frame
+	// rather than sleeping a fixed wall-clock tick — while an injected
+	// reset has the transport down the count stalls, and the short
+	// timeout moves on so the client's replay path gets exercised.
 	for _, f := range traffic[1:] {
+		before := fi.Stats().Frames
 		s.Publish(f)
-		time.Sleep(time.Millisecond)
+		waitFor(t, 50*time.Millisecond, func() bool { return fi.Stats().Frames > before })
 	}
 	// orderly shutdown triggers the client's final catch-up pass
 	s.Close()

@@ -296,7 +296,10 @@ func TestCancelCloseRace(t *testing.T) {
 				}
 			}()
 		}
-		time.Sleep(2 * time.Millisecond)
+		// close only after the publisher demonstrably made progress —
+		// condition-based instead of a wall-clock sleep, so the race
+		// window exists on slow machines too
+		waitFor(t, 10*time.Second, func() bool { return s.LatestSeq() >= 64 })
 		s.Close()
 		close(stop)
 		wg.Wait()

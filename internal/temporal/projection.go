@@ -5,6 +5,7 @@ import (
 
 	"xcql/internal/budget"
 	"xcql/internal/fragment"
+	"xcql/internal/obs"
 	"xcql/internal/xmldom"
 	"xcql/internal/xtime"
 )
@@ -19,6 +20,22 @@ type HoleResolver func(holeID int) []*xmldom.Node
 // evaluation instant.
 func StoreResolver(st *fragment.Store, at time.Time) HoleResolver {
 	return func(holeID int) []*xmldom.Node { return st.GetFillers(holeID, at) }
+}
+
+// ObservedStoreResolver is StoreResolver instrumented with per-evaluation
+// cost counters: each resolution records one hole crossing and the filler
+// versions the lookup pass examined (Store.LookupCost). A nil s degrades
+// to the plain StoreResolver.
+func ObservedStoreResolver(st *fragment.Store, at time.Time, s *obs.EvalStats) HoleResolver {
+	if s == nil {
+		return StoreResolver(st, at)
+	}
+	return func(holeID int) []*xmldom.Node {
+		els := st.GetFillers(holeID, at)
+		s.AddHoles(1)
+		s.AddFillers(st.LookupCost(len(els)))
+		return els
+	}
 }
 
 // BudgetResolver wraps a HoleResolver so every hole expansion charges

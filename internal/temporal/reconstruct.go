@@ -6,6 +6,7 @@ import (
 
 	"xcql/internal/budget"
 	"xcql/internal/fragment"
+	"xcql/internal/obs"
 	"xcql/internal/tagstruct"
 	"xcql/internal/xmldom"
 )
@@ -34,7 +35,15 @@ func Temporalize(st *fragment.Store, at time.Time) (*xmldom.Node, error) {
 // copied element charges a step and its shallow bytes, so an oversized
 // materialization aborts mid-reconstruction with a *budget.ResourceError
 // instead of exhausting memory first. A nil budget is unlimited.
-func TemporalizeBudget(st *fragment.Store, at time.Time, b *budget.Budget) (view *xmldom.Node, err error) {
+func TemporalizeBudget(st *fragment.Store, at time.Time, b *budget.Budget) (*xmldom.Node, error) {
+	return TemporalizeObserved(st, at, b, nil)
+}
+
+// TemporalizeObserved is TemporalizeBudget with per-evaluation cost
+// counters: every hole resolution, examined filler version and copied
+// element is recorded in s — this is how the CaQ plan's whole-document
+// construction shows up in EvalStats. A nil s collects nothing.
+func TemporalizeObserved(st *fragment.Store, at time.Time, b *budget.Budget, s *obs.EvalStats) (view *xmldom.Node, err error) {
 	root := st.LatestVersion(fragment.RootFillerID, at)
 	if root == nil {
 		return nil, fmt.Errorf("temporal: root filler has not arrived")
@@ -49,16 +58,18 @@ func TemporalizeBudget(st *fragment.Store, at time.Time, b *budget.Budget) (view
 		}
 	}()
 	seen := make(map[int]bool)
-	return temporalizeElement(st, root.Payload, at, seen, b), nil
+	s.AddFillers(st.LookupCost(1)) // the root filler lookup is a pass too
+	return temporalizeElement(st, root.Payload, at, seen, b, s), nil
 }
 
 // temporalizeElement copies el, replacing hole children with their fillers
 // recursively. Mirrors the paper's temporalize/get_fillers pair. The walk
 // charges the budget per copied element and aborts by panicking with the
 // *budget.ResourceError (contained by TemporalizeBudget).
-func temporalizeElement(st *fragment.Store, el *xmldom.Node, at time.Time, seen map[int]bool, b *budget.Budget) *xmldom.Node {
+func temporalizeElement(st *fragment.Store, el *xmldom.Node, at time.Time, seen map[int]bool, b *budget.Budget, s *obs.EvalStats) *xmldom.Node {
 	b.MustStep()
 	b.MustBytes(int64(el.ShallowSize()))
+	s.AddNodes(1)
 	out := xmldom.NewElement(el.Name)
 	out.Attrs = append(out.Attrs, el.Attrs...)
 	for _, c := range el.Children {
@@ -74,12 +85,14 @@ func temporalizeElement(st *fragment.Store, el *xmldom.Node, at time.Time, seen 
 			seen[id] = true
 			fillers := st.GetFillers(id, at)
 			b.MustItems(len(fillers))
+			s.AddHoles(1)
+			s.AddFillers(st.LookupCost(len(fillers)))
 			for _, filler := range fillers {
-				out.AppendChild(temporalizeElement(st, filler, at, seen, b))
+				out.AppendChild(temporalizeElement(st, filler, at, seen, b, s))
 			}
 			continue
 		}
-		out.AppendChild(temporalizeElement(st, c, at, seen, b))
+		out.AppendChild(temporalizeElement(st, c, at, seen, b, s))
 	}
 	return out
 }

@@ -11,6 +11,7 @@ import (
 
 	"xcql/internal/budget"
 	"xcql/internal/fragment"
+	"xcql/internal/obs"
 	"xcql/internal/tagstruct"
 	"xcql/internal/temporal"
 	"xcql/internal/xmldom"
@@ -32,6 +33,11 @@ type Runtime struct {
 	// queuing unboundedly.
 	maxEvals    int
 	activeEvals int
+
+	// trace is the optional span sink: nil (the default) disables
+	// tracing entirely, and the disabled path neither allocates nor
+	// reads the clock beyond the always-on phase timings.
+	trace obs.TraceSink
 }
 
 // NewRuntime returns an empty runtime.
@@ -119,6 +125,21 @@ func (rt *Runtime) release() {
 	rt.mu.Unlock()
 }
 
+// SetTraceSink installs (or, with nil, removes) the span sink that
+// receives parse/translate/execute/materialize trace events for every
+// compile and evaluation on this runtime.
+func (rt *Runtime) SetTraceSink(s obs.TraceSink) {
+	rt.mu.Lock()
+	rt.trace = s
+	rt.mu.Unlock()
+}
+
+func (rt *Runtime) traceSink() obs.TraceSink {
+	rt.mu.RLock()
+	defer rt.mu.RUnlock()
+	return rt.trace
+}
+
 // Query is a compiled XCQL query bound to a runtime.
 type Query struct {
 	rt     *Runtime
@@ -133,20 +154,58 @@ type Query struct {
 	// unlimited except for the recursion-depth default. Set it before
 	// sharing the query across goroutines.
 	Limits Limits
+
+	// compile-phase wall times, copied into every evaluation's stats.
+	parseTime     time.Duration
+	translateTime time.Duration
+
+	statsMu   sync.Mutex
+	lastStats *obs.EvalStats
+}
+
+// LastStats returns a snapshot of the cost counters from the most recent
+// evaluation of this query (last-writer-wins under concurrent use). The
+// zero value is returned before the first evaluation. Stats are recorded
+// even when the evaluation failed, so a budget trip still shows how far
+// it got.
+func (q *Query) LastStats() obs.EvalStats {
+	q.statsMu.Lock()
+	defer q.statsMu.Unlock()
+	if q.lastStats == nil {
+		return obs.EvalStats{}
+	}
+	return *q.lastStats
+}
+
+func (q *Query) storeStats(s *obs.EvalStats) {
+	q.statsMu.Lock()
+	q.lastStats = s
+	q.statsMu.Unlock()
 }
 
 // Compile parses src and translates it for the given mode against the
 // streams currently registered.
 func (rt *Runtime) Compile(src string, mode Mode) (*Query, error) {
+	parseStart := time.Now()
 	ast, err := xq.Parse(src)
+	parseTime := time.Since(parseStart)
 	if err != nil {
 		return nil, err
 	}
+	trStart := time.Now()
 	plan, err := Compile(ast, mode, rt.Structures())
+	translateTime := time.Since(trStart)
 	if err != nil {
 		return nil, err
 	}
-	return &Query{rt: rt, Mode: mode, Source: src, AST: ast, Plan: plan}, nil
+	if sink := rt.traceSink(); sink != nil {
+		sink.Span("parse", src, parseStart, parseTime)
+		sink.Span("translate", mode.String(), trStart, translateTime)
+	}
+	return &Query{
+		rt: rt, Mode: mode, Source: src, AST: ast, Plan: plan,
+		parseTime: parseTime, translateTime: translateTime,
+	}, nil
 }
 
 // MustCompile compiles or panics; for tests and examples.
@@ -203,29 +262,54 @@ func (q *Query) eval(ctx context.Context, at time.Time, lim Limits, materialize 
 		return nil, err
 	}
 	defer q.rt.release()
+	stats := &obs.EvalStats{
+		Plan:          q.Mode.String(),
+		ParseTime:     q.parseTime,
+		TranslateTime: q.translateTime,
+	}
+	sink := q.rt.traceSink()
 	b := budget.New(ctx, lim)
-	static := q.rt.newStatic(at, b)
+	static := q.rt.newStatic(at, b, stats)
+	start := time.Now()
 	defer func() {
 		if p := recover(); p != nil {
 			seq = nil
 			if re, ok := p.(*budget.ResourceError); ok {
 				err = &EvalError{Query: q.Source, Mode: q.Mode, Err: re}
-				return
-			}
-			err = &EvalError{
-				Query: q.Source,
-				Mode:  q.Mode,
-				Err:   fmt.Errorf("panic: %v", p),
-				Stack: debug.Stack(),
+			} else {
+				err = &EvalError{
+					Query: q.Source,
+					Mode:  q.Mode,
+					Err:   fmt.Errorf("panic: %v", p),
+					Stack: debug.Stack(),
+				}
 			}
 		}
+		// stats are recorded even on failure: a tripped budget still
+		// shows how far the evaluation got before it was cut off.
+		stats.Steps, stats.Items, stats.BytesMaterialized = b.Used()
+		stats.TotalTime = time.Since(start)
+		q.storeStats(stats)
+		if sink != nil {
+			sink.Span("eval", q.Mode.String(), start, stats.TotalTime)
+		}
 	}()
+	execStart := time.Now()
 	seq, err = xq.Eval(q.Plan, xq.NewContext(static))
+	stats.ExecTime = time.Since(execStart)
+	if sink != nil {
+		sink.Span("execute", q.Mode.String(), execStart, stats.ExecTime)
+	}
 	if err != nil {
 		return nil, q.wrapResource(err)
 	}
 	if materialize {
-		seq = q.rt.materializeResult(seq, at, b)
+		matStart := time.Now()
+		seq = q.rt.materializeResult(seq, at, b, stats)
+		stats.MaterializeTime = time.Since(matStart)
+		if sink != nil {
+			sink.Span("materialize", q.Mode.String(), matStart, stats.MaterializeTime)
+		}
 	}
 	return seq, nil
 }
@@ -242,7 +326,7 @@ func (q *Query) wrapResource(err error) error {
 
 // newStatic assembles the evaluation environment: intrinsics, user
 // functions, the resolvers, and the evaluation's resource budget.
-func (rt *Runtime) newStatic(at time.Time, b *budget.Budget) *xq.Static {
+func (rt *Runtime) newStatic(at time.Time, b *budget.Budget, s *obs.EvalStats) *xq.Static {
 	funcs := map[string]xq.Func{
 		fnView:     rt.intrView,
 		fnRoot:     rt.intrRoot,
@@ -262,7 +346,7 @@ func (rt *Runtime) newStatic(at time.Time, b *budget.Budget) *xq.Static {
 		Funcs: funcs,
 		Stream: func(name string) (xq.Sequence, error) {
 			// uncompiled stream() access sees the materialized view
-			return rt.intrViewNamed(name, at, b)
+			return rt.intrViewNamed(name, at, b, s)
 		},
 		Doc: func(uri string) (*xmldom.Node, error) {
 			rt.mu.RLock()
@@ -272,20 +356,25 @@ func (rt *Runtime) newStatic(at time.Time, b *budget.Budget) *xq.Static {
 			}
 			return nil, fmt.Errorf("xcql: unknown document %q", uri)
 		},
-		Holes:  temporal.BudgetResolver(b, rt.combinedResolver(at)),
+		Holes:  temporal.BudgetResolver(b, rt.combinedResolver(at, s)),
 		Budget: b,
+		Stats:  s,
 	}
 }
 
 // combinedResolver resolves hole ids across all registered stores; filler
 // ids are unique within a stream, and servers are expected to keep id
-// spaces disjoint across streams they co-publish (ours do).
-func (rt *Runtime) combinedResolver(at time.Time) temporal.HoleResolver {
+// spaces disjoint across streams they co-publish (ours do). Each store
+// tried counts as one lookup pass in the stats (nil s collects nothing).
+func (rt *Runtime) combinedResolver(at time.Time, s *obs.EvalStats) temporal.HoleResolver {
 	return func(holeID int) []*xmldom.Node {
+		s.AddHoles(1)
 		rt.mu.RLock()
 		defer rt.mu.RUnlock()
 		for _, st := range rt.stores {
-			if els := st.GetFillers(holeID, at); len(els) > 0 {
+			els := st.GetFillers(holeID, at)
+			s.AddFillers(st.LookupCost(len(els)))
+			if len(els) > 0 {
 				return els
 			}
 		}
@@ -329,14 +418,14 @@ func chargeNodes(b *budget.Budget, seq xq.Sequence) error {
 	return b.AddBytes(n)
 }
 
-func (rt *Runtime) intrViewNamed(name string, at time.Time, b *budget.Budget) (xq.Sequence, error) {
+func (rt *Runtime) intrViewNamed(name string, at time.Time, b *budget.Budget, s *obs.EvalStats) (xq.Sequence, error) {
 	st, err := rt.storeOrErr(name)
 	if err != nil {
 		return nil, err
 	}
 	// CaQ's whole-document materialization is metered: an oversized view
 	// aborts mid-reconstruction instead of exhausting memory first
-	view, err := temporal.TemporalizeBudget(st, at, b)
+	view, err := temporal.TemporalizeObserved(st, at, b, s)
 	if err != nil {
 		return nil, err
 	}
@@ -346,7 +435,7 @@ func (rt *Runtime) intrViewNamed(name string, at time.Time, b *budget.Budget) (x
 }
 
 func (rt *Runtime) intrView(ctx *xq.Context, args []xq.Sequence) (xq.Sequence, error) {
-	return rt.intrViewNamed(argString(args, 0), ctx.Static.Now, ctx.Static.Budget)
+	return rt.intrViewNamed(argString(args, 0), ctx.Static.Now, ctx.Static.Budget, ctx.Static.Stats)
 }
 
 func (rt *Runtime) intrRoot(ctx *xq.Context, args []xq.Sequence) (xq.Sequence, error) {
@@ -355,6 +444,7 @@ func (rt *Runtime) intrRoot(ctx *xq.Context, args []xq.Sequence) (xq.Sequence, e
 		return nil, err
 	}
 	els := st.GetFillers(fragment.RootFillerID, ctx.Static.Now)
+	ctx.Static.Stats.AddFillers(st.LookupCost(len(els)))
 	if len(els) == 0 {
 		return nil, nil
 	}
@@ -404,7 +494,12 @@ func (rt *Runtime) intrFillers(ctx *xq.Context, args []xq.Sequence) (xq.Sequence
 			if err := ctx.Static.Budget.Step(); err != nil {
 				return nil, err
 			}
-			for _, el := range st.GetFillers(id, ctx.Static.Now) {
+			// one store pass per hole id: this is the per-hole cost the
+			// QaC plan pays and the batched QaC+ flavour avoids
+			els := st.GetFillers(id, ctx.Static.Now)
+			ctx.Static.Stats.AddHoles(1)
+			ctx.Static.Stats.AddFillers(st.LookupCost(len(els)))
+			for _, el := range els {
 				out = append(out, el)
 			}
 		}
@@ -451,8 +546,15 @@ func (rt *Runtime) intrFillersBatch(ctx *xq.Context, args []xq.Sequence) (xq.Seq
 			}
 		}
 	}
-	for _, el := range st.GetFillersList(ids, ctx.Static.Now) {
-		out = append(out, el)
+	if len(ids) > 0 {
+		// the whole id set resolves in ONE pass over the store — the
+		// unnested get_fillers of §8 that separates QaC+ from QaC
+		els := st.GetFillersList(ids, ctx.Static.Now)
+		ctx.Static.Stats.AddHoles(len(ids))
+		ctx.Static.Stats.AddFillers(st.LookupCost(len(els)))
+		for _, el := range els {
+			out = append(out, el)
+		}
 	}
 	if err := chargeNodes(ctx.Static.Budget, out); err != nil {
 		return nil, err
@@ -477,7 +579,10 @@ func (rt *Runtime) intrByTSID(ctx *xq.Context, args []xq.Sequence) (xq.Sequence,
 			continue
 		}
 		tsid := int(xq.NumberValue(a[0]))
-		for _, el := range st.GetFillersByTSID(tsid, ctx.Static.Now) {
+		els := st.GetFillersByTSID(tsid, ctx.Static.Now)
+		ctx.Static.Stats.AddTSIDLookup(len(els))
+		ctx.Static.Stats.AddFillers(st.LookupCost(len(els)))
+		for _, el := range els {
 			out = append(out, el)
 		}
 	}
@@ -506,7 +611,7 @@ func (rt *Runtime) intrIProj(ctx *xq.Context, args []xq.Sequence) (xq.Sequence, 
 	window := xtime.NewInterval(from, to)
 	at := ctx.Static.Now
 	nodes := xq.Nodes(args[0])
-	resolve := temporal.BudgetResolver(ctx.Static.Budget, temporal.StoreResolver(st, at))
+	resolve := temporal.BudgetResolver(ctx.Static.Budget, temporal.ObservedStoreResolver(st, at, ctx.Static.Stats))
 	out := xq.FromNodes(temporal.IntervalProjection(nodes, window, at, resolve))
 	if err := ctx.Static.Budget.AddItems(len(out)); err != nil {
 		return nil, err
@@ -541,7 +646,7 @@ func (rt *Runtime) intrVProj(ctx *xq.Context, args []xq.Sequence) (xq.Sequence, 
 	}
 	at := ctx.Static.Now
 	nodes := xq.Nodes(args[0])
-	resolve := temporal.BudgetResolver(ctx.Static.Budget, temporal.StoreResolver(st, at))
+	resolve := temporal.BudgetResolver(ctx.Static.Budget, temporal.ObservedStoreResolver(st, at, ctx.Static.Stats))
 	out := xq.FromNodes(temporal.VersionProjection(nodes, window, at, resolve))
 	if err := ctx.Static.Budget.AddItems(len(out)); err != nil {
 		return nil, err
@@ -569,8 +674,8 @@ func endpointVersion(seq xq.Sequence) (n int, last, ok bool) {
 // The resolver charges the budget, so an attack that hides its bulk
 // behind holes in the result still trips mid-materialization (the panic
 // is contained by Query.eval).
-func (rt *Runtime) materializeResult(seq xq.Sequence, at time.Time, b *budget.Budget) xq.Sequence {
-	resolver := temporal.BudgetResolver(b, rt.combinedResolver(at))
+func (rt *Runtime) materializeResult(seq xq.Sequence, at time.Time, b *budget.Budget, s *obs.EvalStats) xq.Sequence {
+	resolver := temporal.BudgetResolver(b, rt.combinedResolver(at, s))
 	out := make(xq.Sequence, 0, len(seq))
 	for _, it := range seq {
 		n, ok := it.(*xmldom.Node)
@@ -578,7 +683,7 @@ func (rt *Runtime) materializeResult(seq xq.Sequence, at time.Time, b *budget.Bu
 			out = append(out, it)
 			continue
 		}
-		out = append(out, fillHoles(n, resolver, make(map[int]bool)))
+		out = append(out, fillHoles(n, resolver, make(map[int]bool), s))
 	}
 	return out
 }
@@ -597,7 +702,8 @@ func hasHoles(n *xmldom.Node) bool {
 // fillHoles returns a copy of n with every hole replaced by its fillers'
 // versions, recursively, resolving each filler id once (Temporalize's
 // rule).
-func fillHoles(n *xmldom.Node, resolve temporal.HoleResolver, seen map[int]bool) *xmldom.Node {
+func fillHoles(n *xmldom.Node, resolve temporal.HoleResolver, seen map[int]bool, s *obs.EvalStats) *xmldom.Node {
+	s.AddNodes(1)
 	out := xmldom.NewElement(n.Name)
 	out.Attrs = append(out.Attrs, n.Attrs...)
 	for _, c := range n.Children {
@@ -612,11 +718,11 @@ func fillHoles(n *xmldom.Node, resolve temporal.HoleResolver, seen map[int]bool)
 			}
 			seen[id] = true
 			for _, filler := range resolve(id) {
-				out.AppendChild(fillHoles(filler, resolve, seen))
+				out.AppendChild(fillHoles(filler, resolve, seen, s))
 			}
 			continue
 		}
-		out.AppendChild(fillHoles(c, resolve, seen))
+		out.AppendChild(fillHoles(c, resolve, seen, s))
 	}
 	return out
 }

@@ -8,6 +8,7 @@ import (
 	"time"
 
 	"xcql/internal/budget"
+	"xcql/internal/obs"
 	"xcql/internal/temporal"
 	"xcql/internal/xmldom"
 	"xcql/internal/xtime"
@@ -37,6 +38,10 @@ type Static struct {
 	// recursion-depth guard on user-declared functions, which always
 	// applies (budget.DefaultMaxDepth).
 	Budget *budget.Budget
+	// Stats collects per-evaluation cost counters (fillers scanned, holes
+	// resolved, nodes constructed, …) for the observability layer. nil
+	// means "not collecting"; every obs method is nil-safe.
+	Stats *obs.EvalStats
 }
 
 // Func is a registered function implementation.
@@ -821,6 +826,7 @@ func evalElemCtor(ct *ElemCtor, ctx *Context) (Sequence, error) {
 		name = StringValue(Atomize(v)[0])
 	}
 	el := xmldom.NewElement(name)
+	ctx.Static.Stats.AddNodes(1)
 	for _, ac := range ct.Attrs {
 		val, err := evalAttrParts(ac.Parts, ctx)
 		if err != nil {

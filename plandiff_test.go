@@ -1,0 +1,130 @@
+package xcql_test
+
+import (
+	"fmt"
+	"testing"
+
+	"xcql"
+	"xcql/internal/evalbench"
+)
+
+// planCorpus is the differential-testing corpus: the Figure-4 queries
+// plus generated path/projection queries over every fragmented tag of the
+// XMark structure. Each query must produce byte-identical output under
+// CaQ, QaC and QaC+ — the paper's central equivalence claim (§5: the
+// three plans differ only in access cost, never in results).
+func planCorpus() []struct{ Name, Src string } {
+	corpus := []struct{ Name, Src string }{
+		{"Q1", evalbench.Queries()[0].Src},
+		{"Q2", evalbench.Queries()[1].Src},
+		{"Q5", evalbench.Queries()[2].Src},
+	}
+	// one entry per fragmented (temporal/event) tag: its child path from
+	// the stream top and a leaf child to return
+	targets := []struct{ tag, path, child string }{
+		{"person", `/site/people/person`, "name"},
+		{"category", `/site/categories/category`, "name"},
+		{"open_auction", `/site/open_auctions/open_auction`, "reserve"},
+		{"closed_auction", `/site/closed_auctions/closed_auction`, "price"},
+	}
+	windows := []struct{ name, proj string }{
+		{"all", `?[start,now]`},
+		{"year", `?[2003-01-01,2004-01-01]`},
+		{"tail", `?[2004-01-01,now]`},
+	}
+	for _, tg := range targets {
+		corpus = append(corpus,
+			struct{ Name, Src string }{
+				"child-" + tg.tag,
+				fmt.Sprintf(`for $x in stream("auction")%s return $x/%s`, tg.path, tg.child),
+			},
+			struct{ Name, Src string }{
+				"descendant-" + tg.tag,
+				fmt.Sprintf(`for $x in stream("auction")//%s return $x/%s`, tg.tag, tg.child),
+			},
+			struct{ Name, Src string }{
+				"count-" + tg.tag,
+				fmt.Sprintf(`count(for $x in stream("auction")%s return $x)`, tg.path),
+			},
+			struct{ Name, Src string }{
+				"version-" + tg.tag,
+				fmt.Sprintf(`for $x in stream("auction")%s#[1,last] return $x/%s`, tg.path, tg.child),
+			})
+		for _, w := range windows {
+			corpus = append(corpus, struct{ Name, Src string }{
+				"interval-" + w.name + "-" + tg.tag,
+				fmt.Sprintf(`for $x in stream("auction")%s%s return $x/%s`, tg.path, w.proj, tg.child),
+			})
+		}
+	}
+	return corpus
+}
+
+// runCorpus evaluates every corpus query under all three plans on one
+// dataset and fails on any cross-plan difference.
+func runCorpus(t *testing.T, ds *evalbench.Dataset) {
+	t.Helper()
+	for _, qc := range planCorpus() {
+		results := make(map[xcql.Mode]string, len(evalbench.Modes))
+		for _, mode := range evalbench.Modes {
+			q, err := ds.Runtime.Compile(qc.Src, mode)
+			if err != nil {
+				t.Fatalf("%s/%s: compile: %v", qc.Name, mode, err)
+			}
+			seq, err := q.Eval(evalbench.EvalInstant)
+			if err != nil {
+				t.Fatalf("%s/%s: eval: %v", qc.Name, mode, err)
+			}
+			results[mode] = xcql.FormatSequence(seq)
+		}
+		base := results[xcql.CaQ]
+		for _, mode := range evalbench.Modes {
+			if results[mode] != base {
+				t.Errorf("%s: %s result differs from CaQ\nCaQ:\n%s\n%s:\n%s",
+					qc.Name, mode, truncate(base), mode, truncate(results[mode]))
+			}
+		}
+	}
+}
+
+func truncate(s string) string {
+	const max = 800
+	if len(s) > max {
+		return s[:max] + "…"
+	}
+	return s
+}
+
+// TestPlanEquivalenceIndexed runs the corpus against the production
+// indexed store at the larger quick scale.
+func TestPlanEquivalenceIndexed(t *testing.T) {
+	ds, err := evalbench.Build(0.01, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	runCorpus(t, ds)
+}
+
+// TestPlanEquivalenceScan runs the corpus against the paper's scan-cost
+// store: the access paths differ wildly (per-hole passes vs batched
+// passes vs whole-log reconstruction), the results must not.
+func TestPlanEquivalenceScan(t *testing.T) {
+	if testing.Short() {
+		t.Skip("scan store corpus is slow in -short mode")
+	}
+	ds, err := evalbench.Build(0.005, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	runCorpus(t, ds)
+}
+
+// TestPlanEquivalenceEmptyScale covers the degenerate scale-0 dataset
+// (the paper's 116KB base document, no update history).
+func TestPlanEquivalenceEmptyScale(t *testing.T) {
+	ds, err := evalbench.Build(0, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	runCorpus(t, ds)
+}

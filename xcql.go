@@ -38,6 +38,7 @@ import (
 
 	"xcql/internal/budget"
 	"xcql/internal/fragment"
+	"xcql/internal/obs"
 	"xcql/internal/stream"
 	"xcql/internal/tagstruct"
 	"xcql/internal/temporal"
@@ -107,6 +108,25 @@ type (
 	ClientStats = stream.ClientStats
 	// ServerStats is a snapshot of a server's publish counters.
 	ServerStats = stream.ServerStats
+	// EvalStats is the per-evaluation cost profile: fillers scanned,
+	// holes resolved, tsid-index hits, bytes materialized, nodes
+	// constructed and per-phase wall times. Query.LastStats returns it.
+	EvalStats = obs.EvalStats
+	// TraceSink receives phase spans (parse, translate, execute,
+	// materialize, eval) when tracing is enabled via SetTraceSink.
+	TraceSink = obs.TraceSink
+	// SpanRecord is one captured trace span.
+	SpanRecord = obs.SpanRecord
+	// CollectorSink is a TraceSink that buffers spans in memory and can
+	// render them as a timeline.
+	CollectorSink = obs.CollectorSink
+	// WriterSink is a TraceSink that prints each span to an io.Writer.
+	WriterSink = obs.WriterSink
+	// Registry is a process-level registry of named counters and gauges
+	// with a plain-text exposition format (it is an http.Handler).
+	Registry = obs.Registry
+	// Counter is a monotonically increasing atomic counter in a Registry.
+	Counter = obs.Counter
 	// DialOptions tune a client's reconnect/backoff behaviour.
 	DialOptions = stream.DialOptions
 	// ServeOptions tune the TCP serving side (buffers, fault injection).
@@ -239,6 +259,31 @@ func (e *Engine) EvalContext(ctx context.Context, src string, at time.Time, lim 
 	}
 	return q.EvalLimits(ctx, at, lim)
 }
+
+// EvalContextStats is EvalContext returning the evaluation's cost profile
+// alongside the result. Stats are populated even when the evaluation
+// fails, so a tripped budget still shows how far it got.
+func (e *Engine) EvalContextStats(ctx context.Context, src string, at time.Time, lim Limits) (Sequence, EvalStats, error) {
+	q, err := e.Compile(src, QaCPlus)
+	if err != nil {
+		return nil, EvalStats{}, err
+	}
+	seq, err := q.EvalLimits(ctx, at, lim)
+	return seq, q.LastStats(), err
+}
+
+// SetTraceSink installs (or, with nil, removes) the span sink receiving
+// parse/translate/execute/materialize trace events for every compile and
+// evaluation on this engine. Tracing is off by default and the disabled
+// path adds no allocations.
+func (e *Engine) SetTraceSink(s TraceSink) { e.rt.SetTraceSink(s) }
+
+// DefaultRegistry is the process-wide metrics registry; streamdemo and
+// other long-running hosts register their servers and clients here.
+func DefaultRegistry() *Registry { return obs.Default }
+
+// NewRegistry returns an empty metrics registry.
+func NewRegistry() *Registry { return obs.NewRegistry() }
 
 // ResourceCause returns the tripped resource limit behind err, if any:
 // a convenience over errors.As for the common "which limit killed this
