@@ -2,9 +2,9 @@
 GO       ?= go
 FUZZTIME ?= 10s
 
-.PHONY: check vet static build test race race-stream fuzz-smoke bench bench-json
+.PHONY: check vet static build test race race-stream fuzz-smoke bench bench-json bench-diff bench-diff-smoke
 
-check: vet static build race race-stream fuzz-smoke
+check: vet static build race race-stream bench-diff-smoke fuzz-smoke
 
 vet:
 	$(GO) vet ./...
@@ -27,10 +27,11 @@ test:
 race:
 	$(GO) test -race -timeout 120s ./...
 
-# The stream package holds the timing-sensitive reliability/chaos tests;
-# a second -count=2 pass under the race detector is the deflake gate.
+# The stream and obs packages hold the timing-sensitive reliability/chaos
+# tests and the lock-free histogram; a second -count=2 pass under the race
+# detector is the deflake gate.
 race-stream:
-	$(GO) test -race -count=2 -timeout 120s ./internal/stream
+	$(GO) test -race -count=2 -timeout 120s ./internal/stream ./internal/obs
 
 # A short deterministic shake of each fuzz target; longer runs are
 # `make fuzz-smoke FUZZTIME=5m`. `-run '^$'` skips the unit tests that
@@ -44,10 +45,23 @@ fuzz-smoke:
 bench:
 	$(GO) test -bench=. -benchmem
 
-# Snapshot the Figure-4 + selectivity benchmarks (quick scales) as JSON,
-# cost counters included — the cross-PR performance trajectory. Compare
-# snapshots with e.g. `jq` over BENCH_*.json.
-BENCHOUT ?= BENCH_pr3.json
+# Snapshot the Figure-4 + selectivity + continuous benchmarks (quick
+# scales) as JSON — cost counters and latency quantiles included — the
+# cross-PR performance trajectory. Compare two snapshots with bench-diff.
+BENCHOUT ?= BENCH_pr4.json
 bench-json:
-	$(GO) test -run '^$$' -bench '^(BenchmarkFigure4|BenchmarkSelectivity)$$' -benchmem -short . \
+	$(GO) test -run '^$$' -bench '^(BenchmarkFigure4|BenchmarkSelectivity|BenchmarkContinuous)$$' -benchmem -short . \
 		| $(GO) run ./cmd/benchjson > $(BENCHOUT)
+
+# Regression table between two snapshots:
+#   make bench-diff OLD=BENCH_pr3.json NEW=BENCH_pr4.json
+OLD ?= BENCH_pr3.json
+NEW ?= $(BENCHOUT)
+bench-diff:
+	$(GO) run ./cmd/benchjson -diff $(OLD) $(NEW)
+
+# check-time smoke: diff the checked-in snapshots against themselves so
+# the loader and table renderer stay working without rerunning benchmarks.
+bench-diff-smoke:
+	@$(GO) run ./cmd/benchjson -diff BENCH_pr3.json BENCH_pr3.json >/dev/null
+	@echo "bench-diff smoke ok"

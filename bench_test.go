@@ -22,6 +22,7 @@ import (
 
 	"xcql/internal/evalbench"
 	"xcql/internal/fragment"
+	"xcql/internal/obs"
 	"xcql/internal/tagstruct"
 	"xcql/internal/temporal"
 	ixcql "xcql/internal/xcql"
@@ -326,12 +327,22 @@ func BenchmarkContinuous(b *testing.B) {
 				b.Fatal(err)
 			}
 			at := base.Add(time.Duration(preload) * time.Second)
+			hist := obs.NewHistogram()
 			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
+				start := time.Now()
 				if _, err := q.Eval(at); err != nil {
 					b.Fatal(err)
 				}
+				hist.Observe(time.Since(start))
 			}
+			b.StopTimer()
+			// tail latency alongside the mean: benchjson picks these up as
+			// ordinary metrics, so snapshots track p99 across PRs
+			snap := hist.Snapshot()
+			b.ReportMetric(float64(snap.Quantile(0.50)), "p50-ns")
+			b.ReportMetric(float64(snap.Quantile(0.90)), "p90-ns")
+			b.ReportMetric(float64(snap.Quantile(0.99)), "p99-ns")
 		})
 	}
 }

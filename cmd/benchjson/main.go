@@ -2,17 +2,26 @@
 // JSON array on stdout, one record per benchmark result line. The
 // Makefile's bench-json target pipes the Figure-4 and selectivity
 // benchmarks through it to snapshot the performance trajectory
-// (BENCH_*.json) across PRs, cost counters included.
+// (BENCH_*.json) across PRs — cost counters and histogram quantile
+// metrics (p50-ns/op, p99-ns/op, …) included: any `value unit` pair a
+// benchmark reports lands in Metrics verbatim.
 //
 // Usage:
 //
 //	go test -bench 'BenchmarkFigure4$' -benchmem . | go run ./cmd/benchjson
+//	go run ./cmd/benchjson -diff BENCH_pr3.json BENCH_pr4.json
+//
+// With -diff, two snapshot files are compared and a regression table of
+// the overlapping benchmarks is printed: old and new ns/op and the
+// relative change, plus benchmarks only one side has.
 package main
 
 import (
 	"bufio"
 	"encoding/json"
+	"flag"
 	"fmt"
+	"io"
 	"os"
 	"strconv"
 	"strings"
@@ -33,6 +42,19 @@ type Record struct {
 }
 
 func main() {
+	diffMode := flag.Bool("diff", false, "compare two snapshot files: benchjson -diff old.json new.json")
+	flag.Parse()
+	if *diffMode {
+		if flag.NArg() != 2 {
+			fmt.Fprintln(os.Stderr, "benchjson: -diff wants exactly two snapshot files")
+			os.Exit(2)
+		}
+		if err := runDiff(os.Stdout, flag.Arg(0), flag.Arg(1)); err != nil {
+			fmt.Fprintln(os.Stderr, "benchjson:", err)
+			os.Exit(1)
+		}
+		return
+	}
 	records, err := parse(bufio.NewScanner(os.Stdin))
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "benchjson:", err)
@@ -43,6 +65,66 @@ func main() {
 	if err := enc.Encode(records); err != nil {
 		fmt.Fprintln(os.Stderr, "benchjson:", err)
 		os.Exit(1)
+	}
+}
+
+func loadSnapshot(path string) ([]Record, error) {
+	b, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var recs []Record
+	if err := json.Unmarshal(b, &recs); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return recs, nil
+}
+
+func runDiff(w io.Writer, oldPath, newPath string) error {
+	oldRecs, err := loadSnapshot(oldPath)
+	if err != nil {
+		return err
+	}
+	newRecs, err := loadSnapshot(newPath)
+	if err != nil {
+		return err
+	}
+	diffTable(w, oldRecs, newRecs)
+	return nil
+}
+
+// diffTable prints the regression table: overlapping benchmarks with old
+// and new ns/op and the relative change, then the names present on only
+// one side. A zero old baseline renders the delta as n/a rather than a
+// division by zero.
+func diffTable(w io.Writer, oldRecs, newRecs []Record) {
+	oldBy := make(map[string]Record, len(oldRecs))
+	for _, r := range oldRecs {
+		oldBy[r.Name] = r
+	}
+	newNames := make(map[string]bool, len(newRecs))
+	fmt.Fprintf(w, "%-50s %14s %14s %9s\n", "benchmark", "old ns/op", "new ns/op", "delta")
+	for _, nr := range newRecs {
+		newNames[nr.Name] = true
+		or, ok := oldBy[nr.Name]
+		if !ok {
+			continue
+		}
+		delta := "n/a"
+		if or.NsPerOp > 0 {
+			delta = fmt.Sprintf("%+.1f%%", 100*(nr.NsPerOp-or.NsPerOp)/or.NsPerOp)
+		}
+		fmt.Fprintf(w, "%-50s %14.0f %14.0f %9s\n", nr.Name, or.NsPerOp, nr.NsPerOp, delta)
+	}
+	for _, nr := range newRecs {
+		if _, ok := oldBy[nr.Name]; !ok {
+			fmt.Fprintf(w, "%-50s %14s %14.0f %9s\n", nr.Name, "-", nr.NsPerOp, "new")
+		}
+	}
+	for _, or := range oldRecs {
+		if !newNames[or.Name] {
+			fmt.Fprintf(w, "%-50s %14.0f %14s %9s\n", or.Name, or.NsPerOp, "-", "gone")
+		}
 	}
 }
 

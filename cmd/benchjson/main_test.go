@@ -48,6 +48,71 @@ func TestParse(t *testing.T) {
 	}
 }
 
+// Histogram quantile metrics reported via b.ReportMetric — e.g. the
+// per-eval latency quantiles BenchmarkContinuous emits — are ordinary
+// `value unit` pairs and must land in Metrics untouched.
+func TestParseQuantileMetrics(t *testing.T) {
+	const quantiles = `BenchmarkContinuous/events=100/QaC+-8   	     200	    510705 ns/op	  480000 p50-ns	  900000 p90-ns	 1200000 p99-ns
+PASS
+`
+	recs, err := parse(bufio.NewScanner(strings.NewReader(quantiles)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 1 {
+		t.Fatalf("got %d records, want 1", len(recs))
+	}
+	r := recs[0]
+	if r.Metrics["p50-ns"] != 480000 || r.Metrics["p90-ns"] != 900000 || r.Metrics["p99-ns"] != 1200000 {
+		t.Errorf("quantile metrics = %v", r.Metrics)
+	}
+	if r.NsPerOp != 510705 {
+		t.Errorf("ns/op = %v", r.NsPerOp)
+	}
+}
+
+func TestDiffTable(t *testing.T) {
+	oldRecs := []Record{
+		{Name: "Figure4/Q1/QaC+", NsPerOp: 100000},
+		{Name: "Figure4/Q1/CaQ", NsPerOp: 9000000},
+		{Name: "Retired/Bench", NsPerOp: 42},
+	}
+	newRecs := []Record{
+		{Name: "Figure4/Q1/QaC+", NsPerOp: 110000},
+		{Name: "Figure4/Q1/CaQ", NsPerOp: 4500000},
+		{Name: "Continuous/events=100/QaC+", NsPerOp: 510705},
+	}
+	var sb strings.Builder
+	diffTable(&sb, oldRecs, newRecs)
+	out := sb.String()
+	for _, want := range []string{
+		"benchmark",
+		"old ns/op",
+		"+10.0%", // QaC+ regressed 100000 -> 110000
+		"-50.0%", // CaQ improved 9000000 -> 4500000
+		"new",    // Continuous only in the new snapshot
+		"gone",   // Retired only in the old snapshot
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("diff table missing %q:\n%s", want, out)
+		}
+	}
+	// a benchmark that exists on both sides appears exactly once
+	if n := strings.Count(out, "Figure4/Q1/QaC+"); n != 1 {
+		t.Errorf("Figure4/Q1/QaC+ appears %d times, want 1:\n%s", n, out)
+	}
+}
+
+func TestDiffTableZeroOld(t *testing.T) {
+	oldRecs := []Record{{Name: "B", NsPerOp: 0}}
+	newRecs := []Record{{Name: "B", NsPerOp: 100}}
+	var sb strings.Builder
+	diffTable(&sb, oldRecs, newRecs)
+	if !strings.Contains(sb.String(), "n/a") {
+		t.Errorf("zero-baseline delta should be n/a:\n%s", sb.String())
+	}
+}
+
 func TestTrimProcs(t *testing.T) {
 	for in, want := range map[string]string{
 		"Figure4/Q1/QaC+-8": "Figure4/Q1/QaC+",

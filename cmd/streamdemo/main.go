@@ -8,8 +8,11 @@
 //	streamdemo -chaos         # inject drops/dups/reorders/resets into the wire
 //	streamdemo -chaos -seed 7 # a different (but reproducible) fault schedule
 //	streamdemo -metrics 127.0.0.1:9190
-//	                          # expose /metrics (live counters) and
-//	                          # /debug/pprof while the demo runs
+//	                          # expose /metrics (live counters), /statusz
+//	                          # (health + EXPLAIN) and /debug/pprof while
+//	                          # the demo runs; an interrupt shuts the HTTP
+//	                          # server down gracefully
+//	streamdemo -log           # structured debug logs for the pipeline
 //
 // In -chaos mode the transport deliberately misbehaves under a seeded
 // RNG; the run then demonstrates the reliability layer: gap events are
@@ -19,14 +22,17 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"log"
+	"log/slog"
 	"math/rand"
 	"net"
 	"net/http"
 	"net/http/pprof"
 	"os"
+	"os/signal"
 	"time"
 
 	"xcql"
@@ -50,11 +56,23 @@ func main() {
 	events := flag.Int("events", 10, "number of charge events to stream")
 	chaos := flag.Bool("chaos", false, "inject transport faults: drops, duplicates, reorders, mid-frame resets")
 	seed := flag.Int64("seed", 1, "RNG seed for the fault schedule and reconnect jitter")
-	metricsAddr := flag.String("metrics", "", "serve /metrics and /debug/pprof on this address (e.g. 127.0.0.1:9190)")
+	metricsAddr := flag.String("metrics", "", "serve /metrics, /statusz and /debug/pprof on this address (e.g. 127.0.0.1:9190)")
+	verbose := flag.Bool("log", false, "emit structured debug logs for the whole pipeline to stderr")
 	flag.Parse()
+
+	// an interrupt stops the embedded HTTP server gracefully instead of
+	// tearing the process down mid-response
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+
+	var logger *slog.Logger
+	if *verbose {
+		logger = slog.New(slog.NewTextHandler(os.Stderr, &slog.HandlerOptions{Level: slog.LevelDebug}))
+	}
 
 	structure := xcql.MustParseTagStructure(structureXML)
 	server := xcql.NewServer("credit", structure)
+	server.SetLogger(logger)
 	registry := xcql.NewRegistry()
 	server.RegisterMetrics(registry, "server")
 
@@ -73,6 +91,7 @@ func main() {
 			ResetEvery:  13,
 		})
 		serveOpts.Faults = injector
+		injector.SetLogger(logger)
 		injector.RegisterMetrics(registry, "fault")
 		fmt.Printf("chaos mode: seed=%d (drop 10%%, dup 5%%, reorder 5%%, reset every 13 frames)\n", *seed)
 	}
@@ -90,27 +109,10 @@ func main() {
 		log.Fatal(err)
 	}
 	defer client.Close()
+	client.SetLogger(logger)
 	client.OnGap(func(g xcql.Gap) { fmt.Printf("  !! %s\n", g) })
 	client.RegisterMetrics(registry, "client")
 	fmt.Printf("client registered with stream %q (structure delivered in the handshake)\n", client.Name())
-
-	// one registry holds the whole pipeline — server, transport faults
-	// and client — and doubles as the /metrics handler
-	if *metricsAddr != "" {
-		mux := http.NewServeMux()
-		mux.Handle("/metrics", registry)
-		mux.HandleFunc("/debug/pprof/", pprof.Index)
-		mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
-		mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
-		mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
-		mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
-		mln, err := net.Listen("tcp", *metricsAddr)
-		if err != nil {
-			log.Fatal(err)
-		}
-		go func() { _ = http.Serve(mln, mux) }()
-		fmt.Printf("metrics on http://%s/metrics (pprof under /debug/pprof/)\n", mln.Addr())
-	}
 
 	engine := xcql.NewEngine()
 	engine.AttachClient(client)
@@ -123,7 +125,49 @@ func main() {
 			fmt.Printf("  continuous result: %s\n", xcql.FormatSequence(xcql.Sequence{item}))
 		}
 	})
+	cq.SetLogger(logger)
+	cq.RegisterMetrics(registry, "cq")
 	cq.Attach(client)
+
+	// one registry holds the whole pipeline — server, transport faults,
+	// client and continuous query — and doubles as the /metrics handler;
+	// /statusz renders the human-readable health + EXPLAIN view
+	var httpSrv *http.Server
+	if *metricsAddr != "" {
+		mux := http.NewServeMux()
+		mux.Handle("/metrics", registry)
+		mux.HandleFunc("/statusz", func(w http.ResponseWriter, _ *http.Request) {
+			sh, ch := server.Health(), client.Health()
+			fmt.Fprintf(w, "stream %q\n", sh.Stream)
+			fmt.Fprintf(w, "server: watermark-seq=%d watermark=%s subscribers=%d max-queue-depth=%d dropped=%d\n",
+				sh.WatermarkSeq, sh.WatermarkValidTime.Format(time.RFC3339), sh.Subscribers, sh.MaxQueueDepth, sh.Dropped)
+			fmt.Fprintf(w, "client: watermark-seq=%d watermark=%s seq-lag=%d missing=%d lost=%d degraded=%q\n",
+				ch.WatermarkSeq, ch.WatermarkValidTime.Format(time.RFC3339), ch.SeqLag, ch.Missing, ch.Lost, ch.Degraded)
+			fmt.Fprintf(w, "watermark lag: %v\n", xcql.WatermarkLag(server, client))
+			fmt.Fprintf(w, "evaluations: %d\n", cq.Evaluations())
+			fmt.Fprintf(w, "ingest->result latency: %s\n", cq.Latency())
+			fmt.Fprintf(w, "delivery latency:       %s\n\n", client.DeliveryLatency())
+			fmt.Fprint(w, q.Explain())
+		})
+		mux.HandleFunc("/debug/pprof/", pprof.Index)
+		mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+		mln, err := net.Listen("tcp", *metricsAddr)
+		if err != nil {
+			log.Fatal(err)
+		}
+		httpSrv = &http.Server{Handler: mux}
+		go func() { _ = httpSrv.Serve(mln) }()
+		go func() {
+			<-ctx.Done()
+			shCtx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
+			defer cancel()
+			_ = httpSrv.Shutdown(shCtx)
+		}()
+		fmt.Printf("metrics on http://%s/metrics (health on /statusz, pprof under /debug/pprof/)\n", mln.Addr())
+	}
 
 	// --- server side: publish the initial document, then events -------------
 	base := time.Now().UTC().Add(-time.Hour)
@@ -185,6 +229,13 @@ func main() {
 	} else {
 		fmt.Println("stream healthy: every published fragment accounted for")
 	}
+	fmt.Printf("watermark lag: %v, ingest->result latency: %s\n",
+		xcql.WatermarkLag(server, client), cq.Latency())
 	fmt.Println("final metric exposition:")
 	_, _ = registry.WriteTo(os.Stdout)
+	if httpSrv != nil {
+		shCtx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
+		_ = httpSrv.Shutdown(shCtx)
+		cancel()
+	}
 }

@@ -7,7 +7,9 @@
 //	        -mode QaC+ -at 2003-11-15T12:00:00 \
 //	        'for $a in stream("credit")//account return $a/customer'
 //
-// With -plan the translated query is printed instead of being run.
+// With -plan the translated query is printed instead of being run. With
+// -explain the query runs and the plan explanation — access paths plus
+// predicted vs observed cost counters — goes to stderr.
 package main
 
 import (
@@ -31,6 +33,7 @@ func main() {
 	modeStr := flag.String("mode", "QaC+", "execution plan: CaQ, QaC or QaC+")
 	atStr := flag.String("at", "now", "evaluation instant (ISO-8601 or 'now')")
 	showPlan := flag.Bool("plan", false, "print the translated plan instead of evaluating")
+	explain := flag.Bool("explain", false, "evaluate, then print the plan explanation (access paths, predicted vs observed cost) to stderr")
 	queryFile := flag.String("f", "", "read the query from a file instead of argv")
 	showTrace := flag.Bool("trace", false, "dump the parse→translate→execute→materialize timeline to stderr")
 	showStats := flag.Bool("stats", false, "print the evaluation's cost counters to stderr")
@@ -86,6 +89,9 @@ func main() {
 	if *showStats {
 		stats := q.LastStats()
 		fmt.Fprintln(os.Stderr, stats.String())
+	}
+	if *explain {
+		fmt.Fprint(os.Stderr, q.Explain().String())
 	}
 	if sink != nil {
 		fmt.Fprint(os.Stderr, sink.Timeline())

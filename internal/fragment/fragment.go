@@ -48,6 +48,12 @@ type Fragment struct {
 	// duplicates on lossy transports; it is transport metadata, not part
 	// of the Hole-Filler identity (FillerID/TSID/ValidTime).
 	Seq uint64
+	// PublishedAt is the local wall-clock instant the publishing server
+	// stamped the fragment — transport metadata for delivery-latency
+	// measurement, like Seq. Zero means the fragment never passed
+	// through an in-process server. It is not part of the wire form
+	// (clock domains differ across hosts), so it does not survive TCP.
+	PublishedAt time.Time
 	// Payload is the single element carried by the filler. The Fragment
 	// owns it; callers must Clone before mutating.
 	Payload *xmldom.Node

@@ -1,0 +1,223 @@
+package obs
+
+import (
+	"fmt"
+	"math"
+	"math/bits"
+	"sync/atomic"
+	"time"
+)
+
+// numBuckets is the fixed bucket count of a Histogram: bucket 0 holds
+// non-positive observations, bucket i (i ≥ 1) holds durations in
+// [2^(i-1), 2^i) nanoseconds. 64 buckets cover every representable
+// time.Duration, so bucketing never saturates or reallocates.
+const numBuckets = 64
+
+// Histogram is a fixed, logarithmically bucketed latency histogram. The
+// hot path (Observe) is three atomic adds and a CAS loop for the max —
+// no mutex, no allocation — so it can sit on per-fragment delivery and
+// per-evaluation paths without distorting what it measures. Quantiles
+// are estimated at read time by linear interpolation inside the covering
+// power-of-two bucket, so the relative error of a reported quantile is
+// bounded by the bucket width (< 2x, typically much closer).
+//
+// A nil *Histogram is valid and means "not collecting": Observe and the
+// read accessors are nil-receiver safe, mirroring EvalStats. A Histogram
+// is safe for concurrent use by any number of writers and readers.
+type Histogram struct {
+	count   atomic.Int64
+	sum     atomic.Int64
+	max     atomic.Int64
+	buckets [numBuckets]atomic.Int64
+}
+
+// NewHistogram returns an empty histogram.
+func NewHistogram() *Histogram { return &Histogram{} }
+
+// bucketOf maps a nanosecond value to its bucket index: 0 for ns ≤ 0,
+// otherwise 1 + floor(log2(ns)), i.e. the position of the highest set bit.
+func bucketOf(ns int64) int {
+	if ns <= 0 {
+		return 0
+	}
+	return bits.Len64(uint64(ns)) // 1..63 for positive int64
+}
+
+// bucketBounds returns the inclusive lower and exclusive upper nanosecond
+// bounds of bucket i.
+func bucketBounds(i int) (lo, hi int64) {
+	if i == 0 {
+		return 0, 1
+	}
+	if i == numBuckets-1 {
+		return 1 << (i - 1), math.MaxInt64 // 1<<63 would overflow int64
+	}
+	return 1 << (i - 1), 1 << i
+}
+
+// Observe records one duration. Negative durations count as zero.
+func (h *Histogram) Observe(d time.Duration) {
+	if h == nil {
+		return
+	}
+	ns := int64(d)
+	if ns < 0 {
+		ns = 0
+	}
+	h.buckets[bucketOf(ns)].Add(1)
+	h.count.Add(1)
+	h.sum.Add(ns)
+	for {
+		cur := h.max.Load()
+		if ns <= cur || h.max.CompareAndSwap(cur, ns) {
+			return
+		}
+	}
+}
+
+// Count returns the number of observations.
+func (h *Histogram) Count() int64 {
+	if h == nil {
+		return 0
+	}
+	return h.count.Load()
+}
+
+// Max returns the largest observed duration.
+func (h *Histogram) Max() time.Duration {
+	if h == nil {
+		return 0
+	}
+	return time.Duration(h.max.Load())
+}
+
+// Mean returns the arithmetic mean of the observations (0 when empty).
+func (h *Histogram) Mean() time.Duration {
+	return h.Snapshot().Mean()
+}
+
+// Quantile estimates the q-quantile (q in [0,1]) of the observations.
+func (h *Histogram) Quantile(q float64) time.Duration {
+	return h.Snapshot().Quantile(q)
+}
+
+// Snapshot copies the histogram state for consistent multi-quantile
+// reads. Concurrent writers may land between bucket loads; the snapshot
+// is a point-in-time approximation, which is all a monitoring read needs.
+func (h *Histogram) Snapshot() HistogramSnapshot {
+	var s HistogramSnapshot
+	if h == nil {
+		return s
+	}
+	s.Count = h.count.Load()
+	s.Sum = h.sum.Load()
+	s.Max = h.max.Load()
+	var total int64
+	for i := range h.buckets {
+		s.Buckets[i] = h.buckets[i].Load()
+		total += s.Buckets[i]
+	}
+	// the bucket loads race Observe's count.Add; trust the buckets so the
+	// cumulative walk in Quantile always terminates inside a bucket
+	s.Count = total
+	return s
+}
+
+// Reset zeroes the histogram. Not atomic with respect to concurrent
+// writers (an interleaved Observe may survive); intended for tests and
+// between benchmark phases.
+func (h *Histogram) Reset() {
+	if h == nil {
+		return
+	}
+	h.count.Store(0)
+	h.sum.Store(0)
+	h.max.Store(0)
+	for i := range h.buckets {
+		h.buckets[i].Store(0)
+	}
+}
+
+// Register exposes the histogram in a Registry as read-on-demand gauges:
+// prefix_count, prefix_p50, prefix_p90, prefix_p99, prefix_max and
+// prefix_sum. Quantiles, max and sum are reported in nanoseconds.
+func (h *Histogram) Register(r *Registry, prefix string) {
+	if r == nil || h == nil {
+		return
+	}
+	r.Gauge(prefix+"_count", h.Count)
+	r.Gauge(prefix+"_sum", func() int64 { return h.Snapshot().Sum })
+	r.Gauge(prefix+"_max", func() int64 { return int64(h.Max()) })
+	for _, q := range []struct {
+		name string
+		q    float64
+	}{{"p50", 0.50}, {"p90", 0.90}, {"p99", 0.99}} {
+		q := q
+		r.Gauge(prefix+"_"+q.name, func() int64 { return int64(h.Quantile(q.q)) })
+	}
+}
+
+// String renders count, mean, quantiles and max on one line.
+func (h *Histogram) String() string {
+	if h == nil {
+		return "<no histogram>"
+	}
+	s := h.Snapshot()
+	return fmt.Sprintf("count=%d mean=%v p50=%v p90=%v p99=%v max=%v",
+		s.Count, s.Mean().Round(time.Microsecond),
+		s.Quantile(0.50).Round(time.Microsecond),
+		s.Quantile(0.90).Round(time.Microsecond),
+		s.Quantile(0.99).Round(time.Microsecond),
+		time.Duration(s.Max).Round(time.Microsecond))
+}
+
+// HistogramSnapshot is a point-in-time copy of a Histogram.
+type HistogramSnapshot struct {
+	Count   int64
+	Sum     int64 // nanoseconds
+	Max     int64 // nanoseconds
+	Buckets [numBuckets]int64
+}
+
+// Mean returns the arithmetic mean (0 when empty).
+func (s HistogramSnapshot) Mean() time.Duration {
+	if s.Count == 0 {
+		return 0
+	}
+	return time.Duration(s.Sum / s.Count)
+}
+
+// Quantile estimates the q-quantile by locating the covering bucket and
+// interpolating linearly inside it. q outside [0,1] is clamped. The top
+// occupied bucket is clipped to the observed max, so p100 == Max exactly.
+func (s HistogramSnapshot) Quantile(q float64) time.Duration {
+	if s.Count == 0 {
+		return 0
+	}
+	if q < 0 {
+		q = 0
+	}
+	if q >= 1 {
+		return time.Duration(s.Max)
+	}
+	rank := q * float64(s.Count-1) // 0-based fractional rank
+	var cum int64
+	for i, n := range s.Buckets {
+		if n == 0 {
+			continue
+		}
+		// the bucket covers 0-based ranks [cum, cum+n)
+		if rank < float64(cum+n) {
+			lo, hi := bucketBounds(i)
+			if hi > s.Max && s.Max >= lo {
+				hi = s.Max + 1 // clip the top bucket to the observed max
+			}
+			frac := (rank - float64(cum)) / float64(n)
+			v := float64(lo) + frac*float64(hi-1-lo)
+			return time.Duration(v)
+		}
+		cum += n
+	}
+	return time.Duration(s.Max)
+}

@@ -1,0 +1,199 @@
+package obs
+
+import (
+	"math/rand"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestHistogramNilSafe(t *testing.T) {
+	var h *Histogram
+	h.Observe(time.Millisecond)
+	h.Reset()
+	if h.Count() != 0 || h.Max() != 0 || h.Quantile(0.99) != 0 {
+		t.Fatal("nil histogram not inert")
+	}
+	if got := h.String(); got != "<no histogram>" {
+		t.Fatalf("nil String() = %q", got)
+	}
+}
+
+func TestHistogramEmpty(t *testing.T) {
+	h := NewHistogram()
+	if h.Count() != 0 || h.Quantile(0.5) != 0 || h.Mean() != 0 {
+		t.Fatal("empty histogram should read as zero")
+	}
+}
+
+// Quantile estimates interpolate inside power-of-two buckets, so any
+// reported quantile must be within a factor of two of the exact value
+// (and p100 must equal the observed max exactly).
+func TestHistogramQuantileAccuracy(t *testing.T) {
+	h := NewHistogram()
+	rng := rand.New(rand.NewSource(1))
+	vals := make([]time.Duration, 0, 20000)
+	for i := 0; i < 20000; i++ {
+		// mixed regimes: fast path ~µs, slow tail ~ms
+		var d time.Duration
+		if i%10 == 0 {
+			d = time.Duration(1+rng.Int63n(int64(5*time.Millisecond)))
+		} else {
+			d = time.Duration(1 + rng.Int63n(int64(50*time.Microsecond)))
+		}
+		vals = append(vals, d)
+		h.Observe(d)
+	}
+	exact := func(q float64) time.Duration {
+		sorted := append([]time.Duration(nil), vals...)
+		for i := 1; i < len(sorted); i++ {
+			for j := i; j > 0 && sorted[j] < sorted[j-1]; j-- {
+				sorted[j], sorted[j-1] = sorted[j-1], sorted[j]
+			}
+		}
+		return sorted[int(q*float64(len(sorted)-1))]
+	}
+	for _, q := range []float64{0.5, 0.9, 0.99} {
+		got, want := h.Quantile(q), exact(q)
+		lo, hi := want/2, want*2
+		if got < lo || got > hi {
+			t.Errorf("Quantile(%v) = %v, exact %v (outside [%v,%v])", q, got, want, lo, hi)
+		}
+	}
+	if got := h.Quantile(1); got != h.Max() {
+		t.Errorf("Quantile(1) = %v, want max %v", got, h.Max())
+	}
+	if h.Count() != 20000 {
+		t.Errorf("Count = %d, want 20000", h.Count())
+	}
+}
+
+func TestHistogramSingleValue(t *testing.T) {
+	h := NewHistogram()
+	h.Observe(42 * time.Microsecond)
+	if h.Max() != 42*time.Microsecond {
+		t.Fatalf("Max = %v", h.Max())
+	}
+	got := h.Quantile(0.5)
+	// one observation: every quantile must land in its bucket, clipped
+	// at the observed max
+	if got > 42*time.Microsecond || got < 21*time.Microsecond {
+		t.Fatalf("Quantile(0.5) of single 42µs value = %v", got)
+	}
+}
+
+// The hot path must be race-free under concurrent writers and readers,
+// and no observation may be lost: the final count is the sum of all
+// goroutines' observations. Run under -race by `make check`.
+func TestHistogramConcurrent(t *testing.T) {
+	h := NewHistogram()
+	const writers, perWriter = 8, 5000
+	var writersWG, readerWG sync.WaitGroup
+	stop := make(chan struct{})
+	// a concurrent reader exercises Snapshot/Quantile against live writes
+	readerWG.Add(1)
+	go func() {
+		defer readerWG.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+				_ = h.Quantile(0.99)
+				_ = h.Snapshot()
+			}
+		}
+	}()
+	for w := 0; w < writers; w++ {
+		writersWG.Add(1)
+		go func(seed int64) {
+			defer writersWG.Done()
+			rng := rand.New(rand.NewSource(seed))
+			for i := 0; i < perWriter; i++ {
+				h.Observe(time.Duration(rng.Int63n(int64(time.Millisecond))))
+			}
+		}(int64(w))
+	}
+	writersWG.Wait()
+	close(stop)
+	readerWG.Wait()
+	if h.Count() != writers*perWriter {
+		t.Fatalf("Count = %d, want %d", h.Count(), writers*perWriter)
+	}
+	var bucketSum int64
+	s := h.Snapshot()
+	for _, n := range s.Buckets {
+		bucketSum += n
+	}
+	if bucketSum != writers*perWriter {
+		t.Fatalf("bucket sum = %d, want %d", bucketSum, writers*perWriter)
+	}
+}
+
+// Observe is on per-fragment hot paths: it must not allocate, ever.
+func TestHistogramObserveNoAlloc(t *testing.T) {
+	h := NewHistogram()
+	if n := testing.AllocsPerRun(1000, func() { h.Observe(123 * time.Microsecond) }); n != 0 {
+		t.Fatalf("Observe allocates %v times per call, want 0", n)
+	}
+	var nilH *Histogram
+	if n := testing.AllocsPerRun(1000, func() { nilH.Observe(time.Microsecond) }); n != 0 {
+		t.Fatalf("nil Observe allocates %v times per call, want 0", n)
+	}
+}
+
+func TestHistogramRegister(t *testing.T) {
+	h := NewHistogram()
+	for i := 0; i < 100; i++ {
+		h.Observe(time.Duration(i+1) * time.Millisecond)
+	}
+	r := NewRegistry()
+	h.Register(r, "cq_latency")
+	vals := map[string]int64{}
+	r.Each(func(name string, v int64) { vals[name] = v })
+	if vals["cq_latency_count"] != 100 {
+		t.Errorf("cq_latency_count = %d, want 100", vals["cq_latency_count"])
+	}
+	for _, name := range []string{"cq_latency_p50", "cq_latency_p90", "cq_latency_p99", "cq_latency_max", "cq_latency_sum"} {
+		if _, ok := vals[name]; !ok {
+			t.Errorf("missing gauge %s", name)
+		}
+	}
+	if vals["cq_latency_p99"] < vals["cq_latency_p50"] {
+		t.Errorf("p99 (%d) < p50 (%d)", vals["cq_latency_p99"], vals["cq_latency_p50"])
+	}
+	if got := time.Duration(vals["cq_latency_max"]); got != 100*time.Millisecond {
+		t.Errorf("max gauge = %v, want 100ms", got)
+	}
+}
+
+func TestHistogramReset(t *testing.T) {
+	h := NewHistogram()
+	h.Observe(time.Second)
+	h.Reset()
+	if h.Count() != 0 || h.Max() != 0 || h.Quantile(0.99) != 0 {
+		t.Fatalf("Reset left state behind: %s", h)
+	}
+}
+
+func TestHistogramString(t *testing.T) {
+	h := NewHistogram()
+	h.Observe(time.Millisecond)
+	if s := h.String(); !strings.Contains(s, "count=1") {
+		t.Fatalf("String() = %q", s)
+	}
+}
+
+func TestBucketBoundsCoverAllDurations(t *testing.T) {
+	for _, ns := range []int64{0, 1, 2, 3, 1023, 1024, int64(time.Hour), 1<<62 + 1} {
+		i := bucketOf(ns)
+		lo, hi := bucketBounds(i)
+		if ns > 0 && (ns < lo || ns >= hi) {
+			t.Errorf("ns=%d landed in bucket %d [%d,%d)", ns, i, lo, hi)
+		}
+	}
+	if bucketOf(0) != 0 || bucketOf(-5) != 0 {
+		t.Error("non-positive values must land in bucket 0")
+	}
+}

@@ -272,7 +272,33 @@ func (r *Registry) Gauge(name string, fn func() int64) {
 	r.gauges[name] = fn
 }
 
-// Each calls fn for every metric in name order.
+// Unregister removes the counter and/or gauge registered under name.
+// Removing a name that was never registered is a no-op. A Counter
+// obtained earlier keeps working but is no longer exposed; asking for
+// the same name again creates a fresh counter starting at zero.
+func (r *Registry) Unregister(name string) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	delete(r.counters, name)
+	delete(r.gauges, name)
+}
+
+// Reset unregisters every metric, returning the registry to its empty
+// state. Tests use this so metrics registered by one case never leak
+// into the exposition of the next.
+func (r *Registry) Reset() {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.counters = make(map[string]*Counter)
+	r.gauges = make(map[string]func() int64)
+}
+
+// Each calls fn for every metric in name order. When a gauge and a
+// counter share a name, the gauge shadows the counter: the name appears
+// once and reports the gauge's value. This is deliberate — components
+// first count locally and later replace the number with a live snapshot
+// gauge under the same name without breaking dashboards — and WriteTo
+// inherits the same rule because it is built on Each.
 func (r *Registry) Each(fn func(name string, value int64)) {
 	r.mu.Lock()
 	names := make([]string, 0, len(r.counters)+len(r.gauges))

@@ -101,6 +101,59 @@ func TestRegistryGaugeShadowsCounter(t *testing.T) {
 	}
 }
 
+// WriteTo is built on Each, so the gauge-shadows-counter rule holds in
+// the exposition too: the shared name appears once with the gauge value.
+func TestRegistryWriteToShadowsCounter(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("x").Add(1)
+	r.Gauge("x", func() int64 { return 99 })
+	var b strings.Builder
+	if _, err := r.WriteTo(&b); err != nil {
+		t.Fatal(err)
+	}
+	if b.String() != "x 99\n" {
+		t.Fatalf("exposition = %q, want %q", b.String(), "x 99\n")
+	}
+}
+
+func TestRegistryUnregister(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("a").Add(5)
+	r.Gauge("b", func() int64 { return 1 })
+	r.Counter("shadowed").Add(2)
+	r.Gauge("shadowed", func() int64 { return 3 })
+
+	r.Unregister("a")
+	r.Unregister("shadowed") // removes both registrations at once
+	r.Unregister("never-existed")
+
+	seen := map[string]int64{}
+	r.Each(func(name string, v int64) { seen[name] = v })
+	if len(seen) != 1 || seen["b"] != 1 {
+		t.Fatalf("after Unregister, Each = %v, want only b=1", seen)
+	}
+	// re-creating a removed counter starts from zero
+	if got := r.Counter("a").Value(); got != 0 {
+		t.Fatalf("recreated counter = %d, want 0", got)
+	}
+}
+
+func TestRegistryReset(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("a").Add(5)
+	r.Gauge("b", func() int64 { return 1 })
+	r.Reset()
+	count := 0
+	r.Each(func(string, int64) { count++ })
+	if count != 0 {
+		t.Fatalf("Reset left %d metrics registered", count)
+	}
+	var b strings.Builder
+	if _, err := r.WriteTo(&b); err != nil || b.String() != "" {
+		t.Fatalf("exposition after Reset = %q, err %v", b.String(), err)
+	}
+}
+
 func TestRegistryServeHTTP(t *testing.T) {
 	r := NewRegistry()
 	r.Counter("hits").Add(3)

@@ -2,9 +2,12 @@ package stream
 
 import (
 	"fmt"
+	"log/slog"
 	"sync"
+	"time"
 
 	"xcql/internal/fragment"
+	"xcql/internal/obs"
 	"xcql/internal/tagstruct"
 )
 
@@ -77,6 +80,12 @@ type ClientStats struct {
 type Client struct {
 	name  string
 	store *fragment.Store
+	logHolder
+	// delivery is the per-subscription delivery-latency histogram:
+	// publish instant (Fragment.PublishedAt, stamped by an in-process
+	// server) to Apply. Fragments without a publish stamp — hand-built
+	// or TCP-transported, where clock domains differ — are not observed.
+	delivery *obs.Histogram
 
 	mu           sync.Mutex
 	listeners    []func(*fragment.Fragment)
@@ -91,6 +100,7 @@ type Client struct {
 	missing    map[uint64]bool // skipped seqs that may still heal
 	lost       uint64          // seqs written off as unrecoverable
 	latestSeen uint64          // server's latest seq from the last handshake
+	watermark  time.Time       // max validTime applied (monotone)
 	received   int64
 	duplicates int64
 	replayed   int64
@@ -103,12 +113,19 @@ type Client struct {
 // (obtained from the registration handshake).
 func NewClient(name string, structure *tagstruct.Structure) *Client {
 	return &Client{
-		name:    name,
-		store:   fragment.NewStore(structure),
-		missing: make(map[uint64]bool),
-		done:    make(chan struct{}),
+		name:     name,
+		store:    fragment.NewStore(structure),
+		delivery: obs.NewHistogram(),
+		missing:  make(map[uint64]bool),
+		done:     make(chan struct{}),
 	}
 }
+
+// DeliveryLatency is the publish→apply latency histogram of fragments
+// delivered by an in-process server (see Client.delivery). Replayed
+// fragments count with their full replay delay: delivery latency is the
+// time the data was in flight, however it finally arrived.
+func (c *Client) DeliveryLatency() *obs.Histogram { return c.delivery }
 
 // Name returns the stream name.
 func (c *Client) Name() string { return c.name }
@@ -150,6 +167,9 @@ func (c *Client) OnGap(fn func(Gap)) {
 // Unsequenced fragments (Seq == 0, e.g. hand-built in tests) bypass the
 // accounting entirely.
 func (c *Client) Apply(f *fragment.Fragment) {
+	if !f.PublishedAt.IsZero() {
+		c.delivery.Observe(time.Since(f.PublishedAt))
+	}
 	var gap *Gap
 	if f.Seq > 0 {
 		c.mu.Lock()
@@ -181,13 +201,29 @@ func (c *Client) Apply(f *fragment.Fragment) {
 		c.mu.Lock()
 		c.errs = append(c.errs, err)
 		c.mu.Unlock()
+		if l := c.log(); l != nil {
+			l.LogAttrs(logCtx, slog.LevelError, "malformed fragment skipped",
+				slog.String("component", "client"), slog.String("stream", c.name),
+				slog.Uint64("seq", f.Seq), slog.Int("fillerID", f.FillerID),
+				slog.String("err", err.Error()))
+		}
 		return
 	}
 	c.mu.Lock()
 	c.received++
+	// event-time watermark: only ever moves forward, so replayed and
+	// reordered old fragments never rewind the client's progress claim
+	if f.ValidTime.After(c.watermark) {
+		c.watermark = f.ValidTime
+	}
 	listeners := make([]func(*fragment.Fragment), len(c.listeners))
 	copy(listeners, c.listeners)
 	c.mu.Unlock()
+	if l := c.log(); l != nil {
+		l.LogAttrs(logCtx, slog.LevelDebug, "fragment applied",
+			slog.String("component", "client"), slog.String("stream", c.name),
+			slog.Uint64("seq", f.Seq), slog.Int("fillerID", f.FillerID))
+	}
 	for _, fn := range listeners {
 		fn(f)
 	}
@@ -213,6 +249,16 @@ func (c *Client) setDegradedLocked(reason string) {
 }
 
 func (c *Client) notifyGap(g Gap) {
+	if l := c.log(); l != nil {
+		level := slog.LevelWarn
+		if g.Reason != "lost in transit" {
+			level = slog.LevelError // unrecoverable
+		}
+		l.LogAttrs(logCtx, level, "sequence gap detected",
+			slog.String("component", "client"), slog.String("stream", c.name),
+			slog.Uint64("from", g.From), slog.Uint64("to", g.To),
+			slog.String("reason", g.Reason))
+	}
 	c.mu.Lock()
 	fns := make([]func(Gap), len(c.gapListeners))
 	copy(fns, c.gapListeners)
@@ -294,7 +340,13 @@ func (c *Client) setBaseline(oldest uint64) {
 func (c *Client) noteReconnect() {
 	c.mu.Lock()
 	c.reconnects++
+	n := c.reconnects
 	c.mu.Unlock()
+	if l := c.log(); l != nil {
+		l.LogAttrs(logCtx, slog.LevelInfo, "reconnected",
+			slog.String("component", "client"), slog.String("stream", c.name),
+			slog.Int64("reconnects", n))
+	}
 }
 
 // noteLatest records the server's latest sequence number as advertised in

@@ -3,11 +3,13 @@ package stream
 import (
 	"context"
 	"errors"
+	"log/slog"
 	"sync"
 	"time"
 
 	"xcql/internal/budget"
 	"xcql/internal/fragment"
+	"xcql/internal/obs"
 	"xcql/internal/xcql"
 	"xcql/internal/xmldom"
 	"xcql/internal/xq"
@@ -47,9 +49,18 @@ type ContinuousQuery struct {
 	// emits an empty result carrying it.
 	Limits xcql.Limits
 
+	logHolder
+	// latency is the per-fragment ingest→result histogram: from the
+	// instant Evaluate is triggered (the fragment has just been applied
+	// to the store) to the result callback returning. This is the
+	// end-to-end re-evaluation latency of the paper's continuous model —
+	// the time a freshly arrived filler takes to become query output.
+	latency *obs.Histogram
+
 	mu       sync.Mutex
 	seen     map[string]bool
 	degraded string
+	evals    int64
 }
 
 // NewContinuousQuery wraps a compiled query. onResult is invoked after
@@ -60,9 +71,25 @@ func NewContinuousQuery(q *xcql.Query, onResult func(Result)) *ContinuousQuery {
 		query:    q,
 		onResult: onResult,
 		Clock:    time.Now,
+		latency:  obs.NewHistogram(),
 		seen:     make(map[string]bool),
 	}
 }
+
+// Latency is the ingest→result latency histogram (see the field doc).
+func (cq *ContinuousQuery) Latency() *obs.Histogram { return cq.latency }
+
+// Evaluations returns the number of completed evaluations (including
+// degraded ones).
+func (cq *ContinuousQuery) Evaluations() int64 {
+	cq.mu.Lock()
+	defer cq.mu.Unlock()
+	return cq.evals
+}
+
+// Query returns the compiled query this continuous query re-evaluates,
+// e.g. to Explain it or read its LastStats.
+func (cq *ContinuousQuery) Query() *xcql.Query { return cq.query }
 
 // Attach subscribes the query to a client: every applied fragment
 // triggers a re-evaluation. It returns an unsubscribe-free handle (the
@@ -112,6 +139,7 @@ func (cq *ContinuousQuery) ClearDegraded() {
 // flowing and the consumer sees exactly why this evaluation produced
 // nothing. Other evaluation errors are returned as before.
 func (cq *ContinuousQuery) Evaluate() error {
+	start := time.Now()
 	at := cq.Clock()
 	lim := cq.Limits
 	if lim == (xcql.Limits{}) {
@@ -124,6 +152,7 @@ func (cq *ContinuousQuery) Evaluate() error {
 			if cq.onResult != nil {
 				cq.onResult(Result{At: at, Degraded: reason})
 			}
+			cq.finishEval(start, 0, 0, reason)
 			return nil
 		}
 		return err
@@ -142,7 +171,29 @@ func (cq *ContinuousQuery) Evaluate() error {
 	if cq.onResult != nil {
 		cq.onResult(res)
 	}
+	cq.finishEval(start, len(res.Items), len(res.Delta), res.Degraded)
 	return nil
+}
+
+// finishEval records one completed evaluation: the ingest→result
+// latency (trigger to result delivered) and the evaluation counter, and
+// emits the per-evaluation log event.
+func (cq *ContinuousQuery) finishEval(start time.Time, items, delta int, degraded string) {
+	elapsed := time.Since(start)
+	cq.latency.Observe(elapsed)
+	cq.mu.Lock()
+	cq.evals++
+	cq.mu.Unlock()
+	if l := cq.log(); l != nil {
+		level := slog.LevelDebug
+		if degraded != "" {
+			level = slog.LevelWarn
+		}
+		l.LogAttrs(logCtx, level, "continuous evaluation",
+			slog.String("component", "cq"), slog.String("plan", cq.query.Mode.String()),
+			slog.Int("items", items), slog.Int("delta", delta),
+			slog.Duration("latency", elapsed), slog.String("degraded", degraded))
+	}
 }
 
 // ResetDelta forgets previously seen results, so the next evaluation

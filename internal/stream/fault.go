@@ -4,6 +4,7 @@ import (
 	"encoding/binary"
 	"errors"
 	"fmt"
+	"log/slog"
 	"math/rand"
 	"net"
 	"sync"
@@ -55,6 +56,7 @@ var ErrInjectedReset = errors.New("stream: fault injector reset connection mid-f
 // keeps a single-client run fully deterministic.
 type FaultInjector struct {
 	plan FaultPlan
+	logHolder
 
 	mu    sync.Mutex
 	rng   *rand.Rand
@@ -140,6 +142,12 @@ func (fi *FaultInjector) decide() decision {
 
 func (fs *faultSink) WriteFrame(payload []byte) error {
 	d := fs.fi.decide()
+	if l := fs.fi.log(); l != nil && (d.reset || d.drop || d.dup || d.reorder) {
+		l.LogAttrs(logCtx, slog.LevelDebug, "fault injected",
+			slog.String("component", "fault"),
+			slog.Bool("reset", d.reset), slog.Bool("drop", d.drop),
+			slog.Bool("dup", d.dup), slog.Bool("reorder", d.reorder))
+	}
 	if d.delay > 0 {
 		time.Sleep(d.delay)
 	}

@@ -1,0 +1,150 @@
+// Stream progress tracking: watermarks, lag and health snapshots.
+//
+// A *watermark* is the high-water mark of stream progress an endpoint
+// has proven: the largest sequence number and the latest validTime it
+// has published (server) or applied (client). Watermarks are monotone by
+// construction — duplicates, reorders and replays may arrive in any
+// order, but the watermark only ever moves forward — which makes them
+// safe to alarm on: a stalled watermark means a stalled stream, never a
+// transport hiccup. *Lag* is the distance between two watermarks: how
+// far a client's view trails what the server has published, in sequence
+// numbers (exact, from the handshake-advertised latest) or in validTime
+// (the event-time staleness of query results). Koch et al.'s scheduling
+// results (PAPERS.md) make buffer occupancy and per-event latency the
+// quantities that decide whether a stream processor keeps up; Health()
+// and the queue-depth gauges expose exactly those.
+package stream
+
+import (
+	"time"
+)
+
+// ServerHealth is a point-in-time progress snapshot of a stream server.
+type ServerHealth struct {
+	// Stream is the stream name.
+	Stream string
+	// WatermarkSeq is the latest assigned sequence number.
+	WatermarkSeq uint64
+	// WatermarkValidTime is the latest validTime ever published (the
+	// server's event-time watermark); zero before the first publish.
+	WatermarkValidTime time.Time
+	// Subscribers is the number of live subscriptions.
+	Subscribers int
+	// MaxQueueDepth is the deepest subscriber backlog: fragments sitting
+	// in a subscription buffer, delivered but not yet consumed. A depth
+	// pinned at the buffer capacity means the next publish drops.
+	MaxQueueDepth int
+	// Dropped is the number of deliveries lost to full subscriber
+	// buffers, across all subscriptions.
+	Dropped int64
+}
+
+// Health returns a progress snapshot of the server.
+func (s *Server) Health() ServerHealth {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	h := ServerHealth{
+		Stream:             s.name,
+		WatermarkSeq:       s.nextSeq,
+		WatermarkValidTime: s.watermark,
+		Subscribers:        len(s.subs),
+		Dropped:            s.dropped,
+	}
+	for sub := range s.subs {
+		if d := len(sub.ch); d > h.MaxQueueDepth {
+			h.MaxQueueDepth = d
+		}
+	}
+	return h
+}
+
+// ClientHealth is a point-in-time progress snapshot of a stream client.
+type ClientHealth struct {
+	// Stream is the stream name.
+	Stream string
+	// WatermarkSeq is the highest sequence number observed (including
+	// fragments that skipped ahead over a gap).
+	WatermarkSeq uint64
+	// WatermarkValidTime is the latest validTime applied to the store —
+	// the client's event-time watermark. Monotone: a replayed or
+	// reordered old fragment never moves it backwards.
+	WatermarkValidTime time.Time
+	// SeqLag is how many sequence numbers the client knows itself to be
+	// behind the server's advertised latest (0 when caught up or when no
+	// handshake has advertised a position yet).
+	SeqLag uint64
+	// Missing is the number of sequence numbers detected as skipped but
+	// neither received nor written off — lag that may still heal.
+	Missing int
+	// Lost is the number of fragments known to be permanently gone.
+	Lost uint64
+	// Degraded is the non-empty degradation reason while any fragment is
+	// missing or lost.
+	Degraded string
+}
+
+// Health returns a progress snapshot of the client.
+func (c *Client) Health() ClientHealth {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	h := ClientHealth{
+		Stream:             c.name,
+		WatermarkSeq:       c.lastSeq,
+		WatermarkValidTime: c.watermark,
+		Missing:            len(c.missing),
+		Lost:               c.lost,
+	}
+	if c.latestSeen > c.lastSeq {
+		h.SeqLag = c.latestSeen - c.lastSeq
+	}
+	h.Degraded, _ = c.degradedLocked()
+	return h
+}
+
+// SubscriptionHealth is a point-in-time snapshot of one subscription's
+// backlog.
+type SubscriptionHealth struct {
+	// QueueDepth is the number of delivered-but-unconsumed fragments.
+	QueueDepth int
+	// QueueCap is the buffer capacity; QueueDepth == QueueCap means the
+	// next publish will be dropped for this subscription.
+	QueueCap int
+	// Dropped is the number of deliveries this subscription has missed.
+	Dropped int
+	// Closed reports whether the subscription has been cancelled or the
+	// server shut down.
+	Closed bool
+}
+
+// QueueDepth returns the number of fragments buffered in the
+// subscription, waiting to be consumed.
+func (sub *Subscription) QueueDepth() int { return len(sub.ch) }
+
+// Health returns a backlog snapshot of the subscription.
+func (sub *Subscription) Health() SubscriptionHealth {
+	s := sub.server
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return SubscriptionHealth{
+		QueueDepth: len(sub.ch),
+		QueueCap:   cap(sub.ch),
+		Dropped:    len(sub.droppedSeqs),
+		Closed:     sub.closed,
+	}
+}
+
+// WatermarkLag returns the event-time distance between a server's and a
+// client's watermark: how stale the client's view of the stream is, in
+// validTime terms. Zero when the client has caught up (or when either
+// side has not seen any fragment yet).
+func WatermarkLag(s *Server, c *Client) time.Duration {
+	sh, ch := s.Health(), c.Health()
+	if sh.WatermarkValidTime.IsZero() || ch.WatermarkValidTime.IsZero() {
+		return 0
+	}
+	lag := sh.WatermarkValidTime.Sub(ch.WatermarkValidTime)
+	if lag < 0 {
+		return 0
+	}
+	return lag
+}

@@ -1,6 +1,10 @@
 package stream
 
-import "xcql/internal/obs"
+import (
+	"time"
+
+	"xcql/internal/obs"
+)
 
 // RegisterMetrics publishes the server's counters into an obs.Registry as
 // gauges named prefix_<counter> (e.g. "server_published"). Gauges read a
@@ -19,6 +23,12 @@ func (s *Server) RegisterMetrics(r *obs.Registry, prefix string) {
 	r.Gauge(prefix+"_retained", snap(func(st ServerStats) int64 { return int64(st.Retained) }))
 	r.Gauge(prefix+"_oldest_retained", snap(func(st ServerStats) int64 { return int64(st.OldestRetained) }))
 	r.Gauge(prefix+"_latest_seq", snap(func(st ServerStats) int64 { return int64(st.LatestSeq) }))
+	r.Gauge(prefix+"_watermark_ns", func() int64 {
+		return unixNanoOrZero(s.Health().WatermarkValidTime)
+	})
+	r.Gauge(prefix+"_queue_depth", func() int64 {
+		return int64(s.Health().MaxQueueDepth)
+	})
 }
 
 // RegisterMetrics publishes the client's delivery counters into an
@@ -46,6 +56,10 @@ func (c *Client) RegisterMetrics(r *obs.Registry, prefix string) {
 		}
 		return 0
 	}))
+	r.Gauge(prefix+"_watermark_ns", func() int64 {
+		return unixNanoOrZero(c.Health().WatermarkValidTime)
+	})
+	c.delivery.Register(r, prefix+"_delivery")
 }
 
 // RegisterMetrics publishes the injector's fault counters into an
@@ -63,4 +77,35 @@ func (fi *FaultInjector) RegisterMetrics(r *obs.Registry, prefix string) {
 	r.Gauge(prefix+"_reordered", snap(func(st FaultStats) int64 { return st.Reordered }))
 	r.Gauge(prefix+"_delayed", snap(func(st FaultStats) int64 { return st.Delayed }))
 	r.Gauge(prefix+"_resets", snap(func(st FaultStats) int64 { return st.Resets }))
+}
+
+// RegisterMetrics publishes the continuous query's ingest→result latency
+// histogram (count/sum/max and p50/p90/p99 under prefix_latency_*, in
+// nanoseconds) and its evaluation/degradation gauges. With prefix "cq"
+// the exposed names include cq_latency_p99 — the headline end-to-end
+// freshness number of the pipeline.
+func (cq *ContinuousQuery) RegisterMetrics(r *obs.Registry, prefix string) {
+	if r == nil {
+		return
+	}
+	cq.latency.Register(r, prefix+"_latency")
+	r.Gauge(prefix+"_evals", cq.Evaluations)
+	r.Gauge(prefix+"_degraded", func() int64 {
+		cq.mu.Lock()
+		defer cq.mu.Unlock()
+		if cq.degraded != "" {
+			return 1
+		}
+		return 0
+	})
+}
+
+// unixNanoOrZero renders an event-time watermark as Unix nanoseconds,
+// mapping the zero time (nothing observed yet) to 0 rather than the
+// meaningless negative UnixNano of year 1.
+func unixNanoOrZero(t time.Time) int64 {
+	if t.IsZero() {
+		return 0
+	}
+	return t.UnixNano()
 }

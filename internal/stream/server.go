@@ -19,7 +19,9 @@
 package stream
 
 import (
+	"log/slog"
 	"sync"
+	"time"
 
 	"xcql/internal/fragment"
 	"xcql/internal/tagstruct"
@@ -34,12 +36,14 @@ import (
 type Server struct {
 	name      string
 	structure *tagstruct.Structure
+	logHolder
 
 	mu           sync.Mutex
 	subs         map[*Subscription]struct{}
 	history      []*fragment.Fragment // seq-stamped, retained for replay
 	historyLimit int                  // max retained fragments; 0 = unbounded
 	nextSeq      uint64               // last assigned sequence number
+	watermark    time.Time            // max validTime ever published (monotone)
 	dropped      int64
 	closed       bool
 }
@@ -190,27 +194,47 @@ func (s *Server) subscribeLocked(buffer int, replay []*fragment.Fragment) *Subsc
 	return sub
 }
 
-// Publish stamps one fragment with the next sequence number, multicasts
-// it to every subscriber and retains it for replay. Subscribers with full
-// buffers miss it; the miss is recorded on the subscription (filler id +
-// seq) and in the aggregate Dropped counter.
+// Publish stamps one fragment with the next sequence number and the
+// publish instant, multicasts it to every subscriber and retains it for
+// replay. Subscribers with full buffers miss it; the miss is recorded on
+// the subscription (filler id + seq) and in the aggregate Dropped
+// counter. The publish-instant stamp (Fragment.PublishedAt) is what
+// in-process clients measure delivery latency against.
 func (s *Server) Publish(f *fragment.Fragment) {
 	s.mu.Lock()
-	defer s.mu.Unlock()
 	if s.closed {
+		s.mu.Unlock()
 		return
 	}
 	s.nextSeq++
 	stamped := f.WithSeq(s.nextSeq)
+	stamped.PublishedAt = time.Now()
+	if stamped.ValidTime.After(s.watermark) {
+		s.watermark = stamped.ValidTime
+	}
 	s.history = append(s.history, stamped)
 	s.trimHistoryLocked()
+	drops := 0
 	for sub := range s.subs {
 		select {
 		case sub.ch <- stamped:
 		default:
 			s.dropped++
+			drops++
 			sub.droppedIDs = append(sub.droppedIDs, stamped.FillerID)
 			sub.droppedSeqs = append(sub.droppedSeqs, stamped.Seq)
+		}
+	}
+	s.mu.Unlock()
+	if l := s.log(); l != nil {
+		l.LogAttrs(logCtx, slog.LevelDebug, "publish",
+			slog.String("component", "server"), slog.String("stream", s.name),
+			slog.Uint64("seq", stamped.Seq), slog.Int("fillerID", stamped.FillerID))
+		if drops > 0 {
+			l.LogAttrs(logCtx, slog.LevelWarn, "subscriber buffer full, delivery dropped",
+				slog.String("component", "server"), slog.String("stream", s.name),
+				slog.Uint64("seq", stamped.Seq), slog.Int("fillerID", stamped.FillerID),
+				slog.Int("subscribers_missed", drops))
 		}
 	}
 }
@@ -298,8 +322,8 @@ func (s *Server) Stats() ServerStats {
 // publishes are ignored.
 func (s *Server) Close() {
 	s.mu.Lock()
-	defer s.mu.Unlock()
 	if s.closed {
+		s.mu.Unlock()
 		return
 	}
 	s.closed = true
@@ -307,5 +331,12 @@ func (s *Server) Close() {
 		delete(s.subs, sub)
 		sub.closed = true
 		close(sub.ch)
+	}
+	seq := s.nextSeq
+	s.mu.Unlock()
+	if l := s.log(); l != nil {
+		l.LogAttrs(logCtx, slog.LevelInfo, "server closed",
+			slog.String("component", "server"), slog.String("stream", s.name),
+			slog.Uint64("seq", seq))
 	}
 }

@@ -112,6 +112,25 @@ type (
 	// holes resolved, tsid-index hits, bytes materialized, nodes
 	// constructed and per-phase wall times. Query.LastStats returns it.
 	EvalStats = obs.EvalStats
+	// Explain describes a compiled query's physical plan: access paths,
+	// predicted cost against current store contents, and the observed
+	// counters of the last evaluation. Query.Explain returns it.
+	Explain = ixcql.Explain
+	// ExplainTarget is one store access path in an Explain.
+	ExplainTarget = ixcql.ExplainTarget
+	// Histogram is a fixed-bucket latency histogram with lock-free
+	// recording and p50/p90/p99 estimation.
+	Histogram = obs.Histogram
+	// HistogramSnapshot is a point-in-time copy of a Histogram.
+	HistogramSnapshot = obs.HistogramSnapshot
+	// ServerHealth is a server progress snapshot: watermarks, queue
+	// depths, drops.
+	ServerHealth = stream.ServerHealth
+	// ClientHealth is a client progress snapshot: watermarks, lag,
+	// missing and lost fragments.
+	ClientHealth = stream.ClientHealth
+	// SubscriptionHealth is one subscription's backlog snapshot.
+	SubscriptionHealth = stream.SubscriptionHealth
 	// TraceSink receives phase spans (parse, translate, execute,
 	// materialize, eval) when tracing is enabled via SetTraceSink.
 	TraceSink = obs.TraceSink
@@ -370,6 +389,13 @@ func NewFaultInjector(plan FaultPlan) *FaultInjector { return stream.NewFaultInj
 func NewContinuousQuery(q *Query, onResult func(Result)) *ContinuousQuery {
 	return stream.NewContinuousQuery(q, onResult)
 }
+
+// NewHistogram returns an empty latency histogram.
+func NewHistogram() *Histogram { return obs.NewHistogram() }
+
+// WatermarkLag is the event-time distance between a server's and a
+// client's watermark: how stale the client's view of the stream is.
+func WatermarkLag(s *Server, c *Client) time.Duration { return stream.WatermarkLag(s, c) }
 
 // ParseDateTime parses an XCQL time literal ("now", "start", ISO-8601).
 func ParseDateTime(s string) (DateTime, error) { return xtime.Parse(s) }
