@@ -2,9 +2,9 @@
 GO       ?= go
 FUZZTIME ?= 10s
 
-.PHONY: check vet static build test race race-stream fuzz-smoke bench bench-json bench-diff bench-diff-smoke
+.PHONY: check vet static build test race race-stream test-diffharness fuzz-smoke bench bench-json bench-diff bench-diff-smoke
 
-check: vet static build race race-stream bench-diff-smoke fuzz-smoke
+check: vet static build race race-stream test-diffharness bench-diff-smoke fuzz-smoke
 
 vet:
 	$(GO) vet ./...
@@ -28,10 +28,17 @@ race:
 	$(GO) test -race -timeout 120s ./...
 
 # The stream and obs packages hold the timing-sensitive reliability/chaos
-# tests and the lock-free histogram; a second -count=2 pass under the race
-# detector is the deflake gate.
+# tests and the lock-free histogram, and temporal/fragment hold the
+# worker pool and the materialization cache; a second -count=2 pass under
+# the race detector is the deflake gate.
 race-stream:
-	$(GO) test -race -count=2 -timeout 120s ./internal/stream ./internal/obs
+	$(GO) test -race -count=2 -timeout 120s ./internal/stream ./internal/obs ./internal/temporal ./internal/fragment
+
+# The metamorphic differential harness: >=200 generated store/query
+# pairs, every plan x parallelism x cache combination, byte-identical
+# results, under the race detector.
+test-diffharness:
+	$(GO) test -race -run '^TestDiffHarness$$' -timeout 300s .
 
 # A short deterministic shake of each fuzz target; longer runs are
 # `make fuzz-smoke FUZZTIME=5m`. `-run '^$'` skips the unit tests that
@@ -45,17 +52,18 @@ fuzz-smoke:
 bench:
 	$(GO) test -bench=. -benchmem
 
-# Snapshot the Figure-4 + selectivity + continuous benchmarks (quick
-# scales) as JSON — cost counters and latency quantiles included — the
-# cross-PR performance trajectory. Compare two snapshots with bench-diff.
-BENCHOUT ?= BENCH_pr4.json
+# Snapshot the Figure-4 + selectivity + continuous + parallel/cache
+# benchmarks (quick scales) as JSON — cost counters and latency quantiles
+# included — the cross-PR performance trajectory. Compare two snapshots
+# with bench-diff.
+BENCHOUT ?= BENCH_pr5.json
 bench-json:
-	$(GO) test -run '^$$' -bench '^(BenchmarkFigure4|BenchmarkSelectivity|BenchmarkContinuous)$$' -benchmem -short . \
+	$(GO) test -run '^$$' -bench '^(BenchmarkFigure4|BenchmarkSelectivity|BenchmarkContinuous|BenchmarkParallelCache)$$' -benchmem -short . \
 		| $(GO) run ./cmd/benchjson > $(BENCHOUT)
 
 # Regression table between two snapshots:
-#   make bench-diff OLD=BENCH_pr3.json NEW=BENCH_pr4.json
-OLD ?= BENCH_pr3.json
+#   make bench-diff OLD=BENCH_pr4.json NEW=BENCH_pr5.json
+OLD ?= BENCH_pr4.json
 NEW ?= $(BENCHOUT)
 bench-diff:
 	$(GO) run ./cmd/benchjson -diff $(OLD) $(NEW)

@@ -347,6 +347,69 @@ func BenchmarkContinuous(b *testing.B) {
 	}
 }
 
+// BenchmarkParallelCache measures the execution strategies the engine
+// offers on top of a fixed plan: sequential vs parallel hole resolution
+// and cold vs warm filler-resolution cache, on a scale-heavy scan-store
+// QaC+ workload whose results carry nested holes (so materialization
+// resolves many independent fillers, each a full log pass under the
+// paper's cost model). Results are byte-identical across all cells —
+// see TestDiffHarness — only the cost moves. Note: the par4 cells show
+// a wall-clock win only when GOMAXPROCS >= 2; on a single-core host
+// they measure pool overhead (par-tasks/op still proves the fan-out
+// ran), while the warm-cache win is core-count independent.
+func BenchmarkParallelCache(b *testing.B) {
+	scale := 0.02
+	if testing.Short() {
+		scale = 0.005
+	}
+	ds := dataset(b, scale, true)
+	src := `for $x in stream("auction")//open_auction return $x`
+	cells := []struct {
+		name  string
+		par   int
+		cache int
+		warm  bool
+	}{
+		{"QaC+/seq", 1, 0, false},
+		{"QaC+/par4", 4, 0, false},
+		{"QaC+/seq-cold-cache", 1, 4096, false},
+		{"QaC+/seq-warm-cache", 1, 4096, true},
+		{"QaC+/par4-warm-cache", 4, 4096, true},
+	}
+	for _, cell := range cells {
+		b.Run(cell.name, func(b *testing.B) {
+			q, err := ds.Runtime.Compile(src, ixcql.QaCPlus)
+			if err != nil {
+				b.Fatal(err)
+			}
+			q.WithParallelism(cell.par)
+			if cell.cache > 0 && cell.warm {
+				q.WithCache(cell.cache)
+				if _, err := q.Eval(evalbench.EvalInstant); err != nil {
+					b.Fatal(err) // fill the cache outside the timer
+				}
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if cell.cache > 0 && !cell.warm {
+					b.StopTimer()
+					q.WithCache(cell.cache) // a fresh, empty cache every pass
+					b.StartTimer()
+				}
+				if _, err := q.Eval(evalbench.EvalInstant); err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.StopTimer()
+			reportCostMetrics(b, q)
+			s := q.LastStats()
+			b.ReportMetric(float64(s.CacheHits), "cache-hits/op")
+			b.ReportMetric(float64(s.CacheMisses), "cache-misses/op")
+			b.ReportMetric(float64(s.ParallelTasks), "par-tasks/op")
+		})
+	}
+}
+
 // BenchmarkFragmenter measures document fragmentation throughput.
 func BenchmarkFragmenter(b *testing.B) {
 	doc := xmark.Generate(xmark.Config{Scale: 0.01, Seed: 1})

@@ -58,6 +58,8 @@ func main() {
 	seed := flag.Int64("seed", 1, "RNG seed for the fault schedule and reconnect jitter")
 	metricsAddr := flag.String("metrics", "", "serve /metrics, /statusz and /debug/pprof on this address (e.g. 127.0.0.1:9190)")
 	verbose := flag.Bool("log", false, "emit structured debug logs for the whole pipeline to stderr")
+	parallel := flag.Int("parallel", 1, "worker count for parallel hole resolution (1 = sequential)")
+	cacheSize := flag.Int("cache", 0, "filler-resolution cache capacity in entries (0 = uncached)")
 	flag.Parse()
 
 	// an interrupt stops the embedded HTTP server gracefully instead of
@@ -115,6 +117,11 @@ func main() {
 	fmt.Printf("client registered with stream %q (structure delivered in the handshake)\n", client.Name())
 
 	engine := xcql.NewEngine()
+	engine.SetParallelism(*parallel)
+	engine.SetCache(*cacheSize)
+	if c := engine.Cache(); c != nil {
+		c.RegisterMetrics(registry, "cache")
+	}
 	engine.AttachClient(client)
 	q := engine.MustCompile(
 		`for $t in stream("credit")//transaction

@@ -37,6 +37,8 @@ func main() {
 	queryFile := flag.String("f", "", "read the query from a file instead of argv")
 	showTrace := flag.Bool("trace", false, "dump the parse→translate→execute→materialize timeline to stderr")
 	showStats := flag.Bool("stats", false, "print the evaluation's cost counters to stderr")
+	parallel := flag.Int("parallel", 1, "worker count for parallel hole resolution (1 = sequential)")
+	cacheSize := flag.Int("cache", 0, "filler-resolution cache capacity in entries (0 = uncached)")
 	flag.Parse()
 
 	query, err := readQuery(*queryFile, flag.Args())
@@ -57,6 +59,8 @@ func main() {
 	}
 
 	engine := xcql.NewEngine()
+	engine.SetParallelism(*parallel)
+	engine.SetCache(*cacheSize)
 	if *structPath != "" {
 		structure, store, err := loadStream(*structPath, *fragPath)
 		if err != nil {
@@ -89,6 +93,9 @@ func main() {
 	if *showStats {
 		stats := q.LastStats()
 		fmt.Fprintln(os.Stderr, stats.String())
+		if c := engine.Cache(); c != nil {
+			fmt.Fprintln(os.Stderr, "cache:", c.String())
+		}
 	}
 	if *explain {
 		fmt.Fprint(os.Stderr, q.Explain().String())

@@ -1,0 +1,152 @@
+package xcql_test
+
+import (
+	"fmt"
+	"testing"
+
+	"xcql"
+	"xcql/internal/genstore"
+)
+
+// The metamorphic differential harness: randomized stream histories —
+// multi-version, reordered, duplicated, faulted (dangling holes), over
+// both store kinds — crossed with randomized XCQL queries, evaluated
+// under every execution strategy the engine offers:
+//
+//	{CaQ, QaC, QaC+} × {sequential, parallel=4} × {uncached, cold cache, warm cache}
+//
+// Every combination must produce byte-identical output to the baseline
+// (CaQ, sequential, uncached). This pins the tentpole claim that
+// parallel hole resolution and the filler-resolution cache are pure
+// execution strategies: they may change wall time and counters, never
+// results. Run under -race (make test-diffharness) the harness also
+// shakes out data races in the worker pool and cache.
+
+// harnessModes mirrors evalbench.Modes without depending on it.
+var harnessModes = []xcql.Mode{xcql.CaQ, xcql.QaC, xcql.QaCPlus}
+
+// execConfig is one execution strategy applied to every plan.
+type execConfig struct {
+	name        string
+	parallelism int
+	cacheSize   int  // 0 = uncached
+	perQuery    bool // set options per query instead of engine-wide
+}
+
+var execConfigs = []execConfig{
+	{name: "seq", parallelism: 1},
+	{name: "seq-cache", parallelism: 1, cacheSize: 128},
+	{name: "par4", parallelism: 4},
+	{name: "par4-cache", parallelism: 4, cacheSize: 128, perQuery: true},
+}
+
+// harnessProfiles is the store-mutation grid applied per seed.
+func harnessProfiles(seed int64) []genstore.Profile {
+	return []genstore.Profile{
+		{Seed: seed},
+		{Seed: seed, Reorder: true},
+		{Seed: seed, Reorder: true, Duplicates: true},
+		{Seed: seed, Drops: true},
+		{Seed: seed, Reorder: true, Duplicates: true, Drops: true, Scan: seed%2 == 0},
+	}
+}
+
+// TestDiffHarness is the headline test: at least 200 generated
+// store/query pairs, each evaluated at three instants under every
+// plan × parallelism × cache combination.
+func TestDiffHarness(t *testing.T) {
+	minPairs := 200
+	if testing.Short() {
+		minPairs = 40
+	}
+	pairs := 0
+	for seed := int64(1); pairs < minPairs; seed++ {
+		if seed > 100 {
+			t.Fatalf("generator exhausted 100 seeds with only %d pairs", pairs)
+		}
+		for _, p := range harnessProfiles(seed) {
+			pairs += runInstance(t, p)
+			if pairs >= minPairs {
+				break
+			}
+		}
+	}
+	t.Logf("verified %d store/query pairs", pairs)
+}
+
+// runInstance evaluates one generated history under the full strategy
+// grid and returns how many store/query pairs it contributed.
+func runInstance(t *testing.T, p genstore.Profile) int {
+	t.Helper()
+	ins, err := genstore.Generate(p)
+	if err != nil {
+		t.Fatalf("%s: generate: %v", p, err)
+	}
+	st, err := ins.NewStore()
+	if err != nil {
+		t.Fatalf("%s: store: %v", p, err)
+	}
+	// one engine per execution strategy, all over the same store; the
+	// per-query strategy exercises Query.WithParallelism/WithCache on an
+	// otherwise default engine
+	engines := make([]*xcql.Engine, len(execConfigs))
+	for i, cfg := range execConfigs {
+		e := xcql.NewEngine()
+		if !cfg.perQuery {
+			e.SetParallelism(cfg.parallelism)
+			e.SetCache(cfg.cacheSize)
+		}
+		e.RegisterStore("s", st)
+		engines[i] = e
+	}
+	for _, query := range ins.Queries {
+		for _, at := range ins.Instants {
+			var baseline string
+			haveBaseline := false
+			for i, cfg := range execConfigs {
+				for _, mode := range harnessModes {
+					q, err := engines[i].Compile(query.Src, mode)
+					if err != nil {
+						t.Fatalf("%s/%s/%s/%s: compile: %v", p, query.Name, cfg.name, mode, err)
+					}
+					if cfg.perQuery {
+						q = q.WithParallelism(cfg.parallelism).WithCache(cfg.cacheSize)
+					}
+					// cached configs evaluate twice: the first pass fills
+					// the cache (cold), the second must serve identical
+					// results from it (warm)
+					passes := 1
+					if cfg.cacheSize > 0 {
+						passes = 2
+					}
+					for pass := 0; pass < passes; pass++ {
+						seq, err := q.Eval(at)
+						if err != nil {
+							t.Fatalf("%s/%s/%s/%s at=%v pass=%d: eval: %v",
+								p, query.Name, cfg.name, mode, at, pass, err)
+						}
+						got := xcql.FormatSequence(seq)
+						if !haveBaseline {
+							baseline, haveBaseline = got, true
+							continue
+						}
+						if got != baseline {
+							t.Fatalf("%s/%s at=%v: %s/%s pass=%d diverged from baseline\nbaseline:\n%s\ngot:\n%s",
+								p, query.Name, at, cfg.name, mode, pass,
+								harnessTruncate(baseline), harnessTruncate(got))
+						}
+					}
+				}
+			}
+		}
+	}
+	return len(ins.Queries)
+}
+
+func harnessTruncate(s string) string {
+	const max = 600
+	if len(s) > max {
+		return fmt.Sprintf("%s… (%d bytes)", s[:max], len(s))
+	}
+	return s
+}

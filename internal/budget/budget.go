@@ -10,14 +10,19 @@
 // structured error.
 //
 // A nil *Budget is a valid, unlimited budget: every method is
-// nil-receiver safe, so call sites need no guards. A Budget is not safe
-// for concurrent use — each evaluation owns its own.
+// nil-receiver safe, so call sites need no guards. Each evaluation owns
+// its own Budget, but that evaluation may fan hole resolution out across
+// a worker pool (temporal.Prefetch), so all charge counters are atomic:
+// concurrent workers charging one budget never lose or double-count a
+// unit, and the limit trips exactly once the aggregate crosses the
+// bound.
 package budget
 
 import (
 	"context"
 	"errors"
 	"fmt"
+	"sync/atomic"
 	"time"
 )
 
@@ -103,16 +108,18 @@ func (e *ResourceError) Error() string {
 // Unwrap exposes the context error behind cancellation trips.
 func (e *ResourceError) Unwrap() error { return e.Cause }
 
-// Budget meters one evaluation against its Limits and context.
+// Budget meters one evaluation against its Limits and context. The
+// counters are atomic so one evaluation's worker pool can charge it
+// concurrently; limits, ctx and the deadline are immutable after New.
 type Budget struct {
 	limits      Limits
 	ctx         context.Context
 	deadline    time.Time
 	hasDeadline bool
-	ops         int64 // all charge calls, for clock-poll pacing
-	steps       int64
-	items       int64
-	bytes       int64
+	ops         atomic.Int64 // all charge calls, for clock-poll pacing
+	steps       atomic.Int64
+	items       atomic.Int64
+	bytes       atomic.Int64
 }
 
 // New builds a budget over ctx and lim. The Timeout deadline starts
@@ -139,7 +146,7 @@ func (b *Budget) Used() (steps, items, bytes int64) {
 	if b == nil {
 		return 0, 0, 0
 	}
-	return b.steps, b.items, b.bytes
+	return b.steps.Load(), b.items.Load(), b.bytes.Load()
 }
 
 // tick paces the clock/context poll across all charge flavours. The
@@ -147,8 +154,8 @@ func (b *Budget) Used() (steps, items, bytes int64) {
 // already-canceled context trips even on queries that finish in fewer
 // than checkInterval operations.
 func (b *Budget) tick() error {
-	b.ops++
-	if b.ops != 1 && b.ops%checkInterval != 0 {
+	ops := b.ops.Add(1)
+	if ops != 1 && ops%checkInterval != 0 {
 		return nil
 	}
 	return b.checkClock()
@@ -181,9 +188,9 @@ func (b *Budget) Step() error {
 	if b == nil {
 		return nil
 	}
-	b.steps++
-	if b.limits.MaxSteps > 0 && b.steps > b.limits.MaxSteps {
-		return &ResourceError{Limit: LimitSteps, Used: b.steps, Max: b.limits.MaxSteps}
+	steps := b.steps.Add(1)
+	if b.limits.MaxSteps > 0 && steps > b.limits.MaxSteps {
+		return &ResourceError{Limit: LimitSteps, Used: steps, Max: b.limits.MaxSteps}
 	}
 	return b.tick()
 }
@@ -193,9 +200,9 @@ func (b *Budget) AddItems(n int) error {
 	if b == nil || n == 0 {
 		return nil
 	}
-	b.items += int64(n)
-	if b.limits.MaxItems > 0 && b.items > b.limits.MaxItems {
-		return &ResourceError{Limit: LimitItems, Used: b.items, Max: b.limits.MaxItems}
+	items := b.items.Add(int64(n))
+	if b.limits.MaxItems > 0 && items > b.limits.MaxItems {
+		return &ResourceError{Limit: LimitItems, Used: items, Max: b.limits.MaxItems}
 	}
 	return b.tick()
 }
@@ -205,9 +212,9 @@ func (b *Budget) AddBytes(n int64) error {
 	if b == nil || n == 0 {
 		return nil
 	}
-	b.bytes += n
-	if b.limits.MaxBytes > 0 && b.bytes > b.limits.MaxBytes {
-		return &ResourceError{Limit: LimitBytes, Used: b.bytes, Max: b.limits.MaxBytes}
+	bytes := b.bytes.Add(n)
+	if b.limits.MaxBytes > 0 && bytes > b.limits.MaxBytes {
+		return &ResourceError{Limit: LimitBytes, Used: bytes, Max: b.limits.MaxBytes}
 	}
 	return b.tick()
 }

@@ -1,0 +1,453 @@
+package fragment
+
+import (
+	"container/list"
+	"fmt"
+	"sync"
+	"time"
+
+	"xcql/internal/xmldom"
+)
+
+// Cache is an LRU materialization cache over Store lookups: it memoizes
+// the annotated subtrees that GetFillers / GetFillersList /
+// GetFillersByTSID produce, keyed by (store, access kind, id). Repeated
+// and continuous queries that revisit the same holes skip the store pass
+// — under the scan cost model that pass is a walk of the whole fragment
+// log, so a hit removes the dominant Figure-4 cost term entirely.
+//
+// Each cached entry holds up to a few variants, one per as-of validity
+// window: the output of GetFillers(id, at) is constant for every at in
+// [validTime of the last visible version, validTime of the next
+// version), so a variant learned at one evaluation instant keeps serving
+// a continuous query whose instant advances inside that window.
+//
+// Invalidation is by store generation: every variant is stamped with
+// Store.Generation() read BEFORE the resolving lookup, and a probe only
+// serves variants whose stamp equals the store's current generation.
+// Any ingest — even one racing the fill — makes the variant stale in
+// the safe direction. Duplicate and reordered frames that the stream
+// client drops never reach Store.Add, so they cannot re-validate or
+// resurrect anything.
+//
+// The cache hands out deep clones and keeps its own pristine copies, so
+// callers may mutate hit results (reconstruction splices resolved
+// subtrees into documents) without poisoning later hits.
+//
+// A nil *Cache is valid and means "no caching": every lookup method
+// falls through to the store and reports a miss, mirroring the nil
+// conventions of budget.Budget and obs.EvalStats. A Cache is safe for
+// concurrent use; one cache may serve many stores and many evaluations.
+type Cache struct {
+	mu       sync.Mutex
+	capacity int
+	ll       *list.List // front = most recently used; values are *cacheEntry
+	byKey    map[cacheKey]*list.Element
+	stats    CacheStats
+}
+
+// maxVariants bounds the as-of windows kept per entry; continuous
+// queries touch a handful of adjacent windows, so a short list suffices
+// and keeps the per-entry memory bound proportional to subtree size.
+const maxVariants = 4
+
+// cache access kinds.
+const (
+	kindFiller = iota // GetFillers / GetFillersList (by hole id)
+	kindTSID          // GetFillersByTSID (by tag structure id)
+)
+
+type cacheKey struct {
+	store *Store
+	kind  int
+	id    int
+}
+
+type cacheEntry struct {
+	key      cacheKey
+	variants []*cacheVariant // newest last
+}
+
+// cacheVariant is one memoized resolution: the pristine annotated
+// subtrees plus the store generation and as-of window they are valid for.
+type cacheVariant struct {
+	gen     uint64
+	from    time.Time // valid for at >= from, when hasFrom
+	to      time.Time // valid for at < to, when hasTo
+	hasFrom bool
+	hasTo   bool
+	els     []*xmldom.Node
+}
+
+func (v *cacheVariant) covers(at time.Time) bool {
+	if v.hasFrom && at.Before(v.from) {
+		return false
+	}
+	if v.hasTo && !at.Before(v.to) {
+		return false
+	}
+	return true
+}
+
+// CacheStats are a cache's cumulative counters.
+type CacheStats struct {
+	// Hits and Misses count probes served from memory vs resolved
+	// against the store.
+	Hits, Misses int64
+	// Evictions counts entries dropped by the LRU capacity bound.
+	Evictions int64
+	// Invalidations counts variants discarded because the store's
+	// generation advanced past their stamp.
+	Invalidations int64
+}
+
+// NewCache returns a cache bounded to capacity entries (distinct
+// (store, kind, id) keys). capacity < 1 is clamped to 1.
+func NewCache(capacity int) *Cache {
+	if capacity < 1 {
+		capacity = 1
+	}
+	return &Cache{
+		capacity: capacity,
+		ll:       list.New(),
+		byKey:    make(map[cacheKey]*list.Element),
+	}
+}
+
+// Capacity returns the configured entry bound (0 on a nil cache).
+func (c *Cache) Capacity() int {
+	if c == nil {
+		return 0
+	}
+	return c.capacity
+}
+
+// Len returns the number of resident entries.
+func (c *Cache) Len() int {
+	if c == nil {
+		return 0
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.ll.Len()
+}
+
+// Stats returns the cumulative counters.
+func (c *Cache) Stats() CacheStats {
+	if c == nil {
+		return CacheStats{}
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.stats
+}
+
+// String renders the counters on one line.
+func (c *Cache) String() string {
+	if c == nil {
+		return "<no cache>"
+	}
+	s := c.Stats()
+	return fmt.Sprintf("entries=%d/%d hits=%d misses=%d evictions=%d invalidations=%d",
+		c.Len(), c.Capacity(), s.Hits, s.Misses, s.Evictions, s.Invalidations)
+}
+
+// GetFillers is a caching Store.GetFillers: a hit serves deep clones of
+// the memoized subtrees without touching the store; a miss resolves,
+// fills the cache and reports hit=false so the caller can charge the
+// store pass. On a nil cache it falls through to the store.
+func (c *Cache) GetFillers(st *Store, fillerID int, at time.Time) (els []*xmldom.Node, hit bool) {
+	if c == nil {
+		return st.GetFillers(fillerID, at), false
+	}
+	key := cacheKey{store: st, kind: kindFiller, id: fillerID}
+	if els, ok := c.lookup(key, st, at); ok {
+		return els, true
+	}
+	// generation BEFORE the lookup: an Add racing us stales the variant
+	gen := st.Generation()
+	versions := st.Versions(fillerID)
+	out := st.annotateVersions(versions, at)
+	c.fill(key, newVariant(gen, versions, at, out))
+	return out, false
+}
+
+// GetFillersList is a caching Store.GetFillersList: ids already resident
+// are served from memory; all missing ids are resolved in ONE store pass
+// (Store.versionGroups), preserving the batched cost shape that
+// separates QaC+ from QaC. The concatenation order matches
+// Store.GetFillersList exactly. It reports the hit and miss counts and
+// the number of filler versions the miss pass examined (0 when
+// everything hit).
+func (c *Cache) GetFillersList(st *Store, fillerIDs []int, at time.Time) (out []*xmldom.Node, hits, misses, scanned int) {
+	if c == nil {
+		out = st.GetFillersList(fillerIDs, at)
+		return out, 0, len(fillerIDs), st.LookupCost(len(out))
+	}
+	type slot struct {
+		els []*xmldom.Node
+		ok  bool
+	}
+	slots := make([]slot, len(fillerIDs))
+	var missIDs []int
+	missPos := make([]int, 0, len(fillerIDs))
+	seen := make(map[int]bool, len(fillerIDs))
+	for i, id := range fillerIDs {
+		if seen[id] {
+			continue // duplicate ids contribute only at their first position
+		}
+		seen[id] = true
+		if els, ok := c.lookup(cacheKey{store: st, kind: kindFiller, id: id}, st, at); ok {
+			slots[i] = slot{els: els, ok: true}
+			hits++
+			continue
+		}
+		missIDs = append(missIDs, id)
+		missPos = append(missPos, i)
+	}
+	if len(missIDs) > 0 {
+		gen := st.Generation()
+		groups := st.versionGroups(missIDs)
+		returned := 0
+		for j, group := range groups {
+			els := st.annotateVersions(group, at)
+			returned += len(els)
+			c.fill(cacheKey{store: st, kind: kindFiller, id: missIDs[j]}, newVariant(gen, group, at, els))
+			slots[missPos[j]] = slot{els: els, ok: true}
+		}
+		misses = len(missIDs)
+		scanned = st.LookupCost(returned)
+	}
+	for _, s := range slots {
+		if s.ok {
+			out = append(out, s.els...)
+		}
+	}
+	return out, hits, misses, scanned
+}
+
+// GetFillersByTSID is a caching Store.GetFillersByTSID.
+func (c *Cache) GetFillersByTSID(st *Store, tsid int, at time.Time) (els []*xmldom.Node, hit bool) {
+	if c == nil {
+		return st.GetFillersByTSID(tsid, at), false
+	}
+	key := cacheKey{store: st, kind: kindTSID, id: tsid}
+	if els, ok := c.lookup(key, st, at); ok {
+		return els, true
+	}
+	gen := st.Generation()
+	groups := st.tsidGroups(tsid)
+	var out []*xmldom.Node
+	v := &cacheVariant{gen: gen}
+	for _, group := range groups {
+		out = append(out, st.annotateVersions(group, at)...)
+		// the tsid result is constant only while EVERY group's visible
+		// prefix is: intersect the per-group windows
+		gv := newVariant(gen, group, at, nil)
+		if gv.hasFrom && (!v.hasFrom || gv.from.After(v.from)) {
+			v.from, v.hasFrom = gv.from, true
+		}
+		if gv.hasTo && (!v.hasTo || gv.to.Before(v.to)) {
+			v.to, v.hasTo = gv.to, true
+		}
+	}
+	v.els = cloneAll(out)
+	c.fill(key, v)
+	return out, false
+}
+
+// ContainsFillers reports whether a GetFillers(fillerID, at) probe would
+// hit, without filling, touching LRU order, or counting stats — the
+// Explain planner's predicted-hit probe.
+func (c *Cache) ContainsFillers(st *Store, fillerID int, at time.Time) bool {
+	return c.contains(cacheKey{store: st, kind: kindFiller, id: fillerID}, st, at)
+}
+
+// ContainsTSID is ContainsFillers for the tsid access path.
+func (c *Cache) ContainsTSID(st *Store, tsid int, at time.Time) bool {
+	return c.contains(cacheKey{store: st, kind: kindTSID, id: tsid}, st, at)
+}
+
+// ResidentFillers counts how many of ids have a resident,
+// generation-fresh variant for st, regardless of as-of window — the
+// Explain planner's window-agnostic effectiveness estimate (it predicts
+// without knowing the future evaluation instant).
+func (c *Cache) ResidentFillers(st *Store, ids []int) int {
+	if c == nil {
+		return 0
+	}
+	gen := st.Generation()
+	n := 0
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for _, id := range ids {
+		if e, ok := c.byKey[cacheKey{store: st, kind: kindFiller, id: id}]; ok {
+			for _, v := range e.Value.(*cacheEntry).variants {
+				if v.gen == gen {
+					n++
+					break
+				}
+			}
+		}
+	}
+	return n
+}
+
+// ResidentTSID is ResidentFillers for one tsid entry.
+func (c *Cache) ResidentTSID(st *Store, tsid int) bool {
+	if c == nil {
+		return false
+	}
+	gen := st.Generation()
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if e, ok := c.byKey[cacheKey{store: st, kind: kindTSID, id: tsid}]; ok {
+		for _, v := range e.Value.(*cacheEntry).variants {
+			if v.gen == gen {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// Usage reports the resident entries for one store and how many of them
+// still hold a variant at the store's current generation.
+func (c *Cache) Usage(st *Store) (entries, valid int) {
+	if c == nil {
+		return 0, 0
+	}
+	gen := st.Generation()
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for e := c.ll.Front(); e != nil; e = e.Next() {
+		ent := e.Value.(*cacheEntry)
+		if ent.key.store != st {
+			continue
+		}
+		entries++
+		for _, v := range ent.variants {
+			if v.gen == gen {
+				valid++
+				break
+			}
+		}
+	}
+	return entries, valid
+}
+
+// newVariant builds the memoized variant for one filler id: pristine
+// clones of els plus the as-of window over which the visible prefix of
+// versions — and therefore the annotated output — is constant:
+// [validTime of the last visible version, validTime of the next one).
+// With no visible version the window is (-inf, first validTime); with
+// every version visible it is [last validTime, +inf). When els is nil
+// the caller fills v.els itself (the tsid path intersects windows).
+func newVariant(gen uint64, versions []*Fragment, at time.Time, els []*xmldom.Node) *cacheVariant {
+	v := &cacheVariant{gen: gen, els: cloneAll(els)}
+	visible := 0
+	for _, f := range versions {
+		if f.ValidTime.After(at) {
+			break
+		}
+		visible++
+	}
+	if visible > 0 {
+		v.from, v.hasFrom = versions[visible-1].ValidTime, true
+	}
+	if visible < len(versions) {
+		v.to, v.hasTo = versions[visible].ValidTime, true
+	}
+	return v
+}
+
+func cloneAll(els []*xmldom.Node) []*xmldom.Node {
+	if els == nil {
+		return nil
+	}
+	out := make([]*xmldom.Node, len(els))
+	for i, el := range els {
+		out[i] = el.Clone()
+	}
+	return out
+}
+
+// lookup serves a probe from memory: it drops stale-generation variants,
+// and on a covering fresh variant promotes the entry and returns deep
+// clones.
+func (c *Cache) lookup(key cacheKey, st *Store, at time.Time) ([]*xmldom.Node, bool) {
+	gen := st.Generation()
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	e, ok := c.byKey[key]
+	if !ok {
+		c.stats.Misses++
+		return nil, false
+	}
+	ent := e.Value.(*cacheEntry)
+	kept := ent.variants[:0]
+	var found *cacheVariant
+	for _, v := range ent.variants {
+		if v.gen != gen {
+			c.stats.Invalidations++
+			continue
+		}
+		kept = append(kept, v)
+		if found == nil && v.covers(at) {
+			found = v
+		}
+	}
+	ent.variants = kept
+	if found == nil {
+		c.stats.Misses++
+		return nil, false
+	}
+	c.ll.MoveToFront(e)
+	c.stats.Hits++
+	return cloneAll(found.els), true
+}
+
+// contains is lookup without side effects (no promotion, no counters, no
+// stale-variant sweep).
+func (c *Cache) contains(key cacheKey, st *Store, at time.Time) bool {
+	if c == nil {
+		return false
+	}
+	gen := st.Generation()
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	e, ok := c.byKey[key]
+	if !ok {
+		return false
+	}
+	for _, v := range e.Value.(*cacheEntry).variants {
+		if v.gen == gen && v.covers(at) {
+			return true
+		}
+	}
+	return false
+}
+
+// fill inserts (or refreshes) the variant under key, evicting the least
+// recently used entry past capacity.
+func (c *Cache) fill(key cacheKey, v *cacheVariant) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if e, ok := c.byKey[key]; ok {
+		ent := e.Value.(*cacheEntry)
+		ent.variants = append(ent.variants, v)
+		if len(ent.variants) > maxVariants {
+			ent.variants = append(ent.variants[:0], ent.variants[len(ent.variants)-maxVariants:]...)
+		}
+		c.ll.MoveToFront(e)
+		return
+	}
+	e := c.ll.PushFront(&cacheEntry{key: key, variants: []*cacheVariant{v}})
+	c.byKey[key] = e
+	for c.ll.Len() > c.capacity {
+		last := c.ll.Back()
+		c.ll.Remove(last)
+		delete(c.byKey, last.Value.(*cacheEntry).key)
+		c.stats.Evictions++
+	}
+}

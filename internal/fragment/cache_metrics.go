@@ -1,0 +1,16 @@
+package fragment
+
+import "xcql/internal/obs"
+
+// RegisterMetrics publishes the cache's counters into an obs.Registry as
+// read-on-demand gauges under prefix (e.g. prefix="cache" exposes
+// cache_hits, cache_misses, cache_evictions, cache_invalidations,
+// cache_entries, cache_capacity).
+func (c *Cache) RegisterMetrics(r *obs.Registry, prefix string) {
+	r.Gauge(prefix+"_hits", func() int64 { return c.Stats().Hits })
+	r.Gauge(prefix+"_misses", func() int64 { return c.Stats().Misses })
+	r.Gauge(prefix+"_evictions", func() int64 { return c.Stats().Evictions })
+	r.Gauge(prefix+"_invalidations", func() int64 { return c.Stats().Invalidations })
+	r.Gauge(prefix+"_entries", func() int64 { return int64(c.Len()) })
+	r.Gauge(prefix+"_capacity", func() int64 { return int64(c.Capacity()) })
+}

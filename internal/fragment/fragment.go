@@ -139,6 +139,13 @@ func FromXML(el *xmldom.Node) (*Fragment, error) {
 	}
 	f := New(id, tsid, vt.Time(), kids[0].Clone())
 	f.Seq = seq
+	// PublishedAt is transport metadata a peer must never control: if a
+	// decoded frame could carry a publish stamp, a crafted frame would
+	// inject an arbitrary delivery latency into the client's histogram
+	// (time.Since(PublishedAt) with a chosen instant). Decoding always
+	// yields an unstamped fragment — only an in-process server's Publish
+	// stamps it, in the same clock domain that measures it.
+	f.PublishedAt = time.Time{}
 	return f, nil
 }
 

@@ -5,6 +5,7 @@ import (
 	"sort"
 	"strconv"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"xcql/internal/tagstruct"
@@ -30,6 +31,14 @@ type Store struct {
 	byID   map[int][]*Fragment // versions sorted by validTime, then arrival
 	byTSID map[int][]*Fragment // arrival order
 	count  int
+
+	// gen counts successful Adds. The materialization cache stamps every
+	// entry with the generation read BEFORE the resolving lookup, so any
+	// ingest racing the fill makes the entry stale rather than ever
+	// marking post-ingest data as pre-ingest. Duplicate or reordered
+	// frames the stream client drops never reach Add, so they advance
+	// nothing and cannot re-validate (or resurrect) cache entries.
+	gen atomic.Uint64
 }
 
 // NewStore returns an empty indexed store for the given tag structure.
@@ -94,8 +103,15 @@ func (st *Store) Add(f *Fragment) error {
 		st.byTSID[f.TSID] = append(st.byTSID[f.TSID], f)
 	}
 	st.count++
+	st.gen.Add(1)
 	return nil
 }
+
+// Generation returns the store's ingest generation: a counter that
+// advances on every successful Add and never regresses. Cache layers
+// compare it to decide whether a memoized resolution still reflects the
+// store's contents.
+func (st *Store) Generation() uint64 { return st.gen.Load() }
 
 // AddAll ingests fragments in order, stopping at the first error.
 func (st *Store) AddAll(fs []*Fragment) error {
@@ -233,12 +249,36 @@ func (st *Store) annotateVersions(versions []*Fragment, at time.Time) []*xmldom.
 // QaC+ plan uses; the QaC plan deliberately loops GetFillers instead,
 // matching the paper's translation and its measured cost.
 func (st *Store) GetFillersList(fillerIDs []int, at time.Time) []*xmldom.Node {
-	if !st.scan {
-		var out []*xmldom.Node
-		for _, id := range fillerIDs {
-			out = append(out, st.GetFillers(id, at)...)
+	var out []*xmldom.Node
+	for _, group := range st.versionGroups(fillerIDs) {
+		if group == nil {
+			continue
 		}
-		return out
+		out = append(out, st.annotateVersions(group, at)...)
+	}
+	return out
+}
+
+// versionGroups returns, aligned with fillerIDs, each id's stored
+// versions in validTime order. A duplicate id contributes its group only
+// at its first position (later positions stay nil), mirroring
+// GetFillersList's concatenation semantics. In scan mode the whole id
+// set is resolved in ONE pass over the wire log — the single lookup pass
+// whose cost GetFillersList is charged for; in indexed mode each group
+// is an index copy. The cache layer shares this helper so batched miss
+// fills keep the one-pass cost shape.
+func (st *Store) versionGroups(fillerIDs []int) [][]*Fragment {
+	groups := make([][]*Fragment, len(fillerIDs))
+	if !st.scan {
+		seen := make(map[int]bool, len(fillerIDs))
+		for i, id := range fillerIDs {
+			if seen[id] {
+				continue
+			}
+			seen[id] = true
+			groups[i] = st.Versions(id)
+		}
+		return groups
 	}
 	want := make(map[int]int, len(fillerIDs)) // id -> first position
 	for i, id := range fillerIDs {
@@ -246,7 +286,6 @@ func (st *Store) GetFillersList(fillerIDs []int, at time.Time) []*xmldom.Node {
 			want[id] = i
 		}
 	}
-	groups := make([][]*Fragment, len(fillerIDs))
 	st.mu.RLock()
 	for i, el := range st.wire {
 		v, ok := el.Attr(AttrID)
@@ -262,15 +301,10 @@ func (st *Store) GetFillersList(fillerIDs []int, at time.Time) []*xmldom.Node {
 		}
 	}
 	st.mu.RUnlock()
-	var out []*xmldom.Node
 	for _, group := range groups {
-		if group == nil {
-			continue
-		}
 		sort.SliceStable(group, func(i, j int) bool { return group[i].ValidTime.Before(group[j].ValidTime) })
-		out = append(out, st.annotateVersions(group, at)...)
 	}
-	return out
+	return groups
 }
 
 // GetFillersByTSID returns the annotated versions of every filler whose
@@ -278,23 +312,35 @@ func (st *Store) GetFillersList(fillerIDs []int, at time.Time) []*xmldom.Node {
 // access path (the paper's filler[@tsid=…] predicate scan). One pass over
 // the log in scan mode; index lookup otherwise.
 func (st *Store) GetFillersByTSID(tsid int, at time.Time) []*xmldom.Node {
-	frags := st.ByTSID(tsid)
-	groups := make(map[int][]*Fragment)
-	var order []int
-	for _, f := range frags {
-		if _, ok := groups[f.FillerID]; !ok {
-			order = append(order, f.FillerID)
-		}
-		groups[f.FillerID] = append(groups[f.FillerID], f)
-	}
-	sort.Ints(order)
 	var out []*xmldom.Node
-	for _, id := range order {
-		group := groups[id]
-		sort.SliceStable(group, func(i, j int) bool { return group[i].ValidTime.Before(group[j].ValidTime) })
+	for _, group := range st.tsidGroups(tsid) {
 		out = append(out, st.annotateVersions(group, at)...)
 	}
 	return out
+}
+
+// tsidGroups returns the stored fragments carrying tsid as per-filler
+// version groups: filler ids ascending, each group in validTime order —
+// GetFillersByTSID's grouping, shared with the cache layer. One lookup
+// pass over the log in scan mode.
+func (st *Store) tsidGroups(tsid int) [][]*Fragment {
+	frags := st.ByTSID(tsid)
+	byID := make(map[int][]*Fragment)
+	var order []int
+	for _, f := range frags {
+		if _, ok := byID[f.FillerID]; !ok {
+			order = append(order, f.FillerID)
+		}
+		byID[f.FillerID] = append(byID[f.FillerID], f)
+	}
+	sort.Ints(order)
+	groups := make([][]*Fragment, 0, len(order))
+	for _, id := range order {
+		group := byID[id]
+		sort.SliceStable(group, func(i, j int) bool { return group[i].ValidTime.Before(group[j].ValidTime) })
+		groups = append(groups, group)
+	}
+	return groups
 }
 
 // LatestVersion returns the version of fillerID current at the evaluation

@@ -1,0 +1,314 @@
+// Package genstore generates deterministic pseudo-random stream
+// histories — tag structure, multi-version fragment sets, arrival-order
+// mutations — together with XCQL queries over them. It feeds the
+// metamorphic differential harness: every generated (store, query,
+// instant) triple must produce byte-identical results under all three
+// physical plans, sequential or parallel, cached or not, whatever the
+// history looked like on the wire.
+//
+// Everything derives from a single seed through one math/rand stream, so
+// a failing case is reproducible from its seed alone.
+package genstore
+
+import (
+	"fmt"
+	"math/rand"
+	"time"
+
+	"xcql/internal/fragment"
+	"xcql/internal/tagstruct"
+	"xcql/internal/xmldom"
+)
+
+// Base is the validTime of every generated history's initial document;
+// all other version times are offsets forward from it.
+var Base = time.Date(2004, 6, 1, 0, 0, 0, 0, time.UTC)
+
+// Profile selects the seed and which wire-history mutations to apply.
+type Profile struct {
+	Seed int64
+	// Reorder shuffles fragment arrival order (the root filler stays
+	// first so the earliest evaluation instant finds a document).
+	Reorder bool
+	// Duplicates re-appends some frames, modelling duplicate delivery
+	// reaching the store as extra same-validTime versions.
+	Duplicates bool
+	// Drops omits some non-root fillers entirely, leaving dangling holes
+	// the engine must skip in every plan.
+	Drops bool
+	// Scan builds the paper's linear-scan store instead of the indexed
+	// one.
+	Scan bool
+}
+
+func (p Profile) String() string {
+	s := fmt.Sprintf("seed=%d", p.Seed)
+	if p.Reorder {
+		s += ",reorder"
+	}
+	if p.Duplicates {
+		s += ",dup"
+	}
+	if p.Drops {
+		s += ",drop"
+	}
+	if p.Scan {
+		s += ",scan"
+	}
+	return s
+}
+
+// Query is one generated query with a stable name for test output.
+type Query struct {
+	Name string
+	Src  string
+}
+
+// Instance is one generated history: structure, the fragment sequence in
+// final arrival order, the queries to run and the instants to run them
+// at.
+type Instance struct {
+	Profile   Profile
+	Structure *tagstruct.Structure
+	Fragments []*fragment.Fragment
+	Queries   []Query
+	Instants  []time.Time
+}
+
+// NewStore builds a fresh store (indexed or scan per the profile) and
+// ingests the instance's fragments in order.
+func (ins *Instance) NewStore() (*fragment.Store, error) {
+	var st *fragment.Store
+	if ins.Profile.Scan {
+		st = fragment.NewScanStore(ins.Structure)
+	} else {
+		st = fragment.NewStore(ins.Structure)
+	}
+	if err := st.AddAll(ins.Fragments); err != nil {
+		return nil, err
+	}
+	return st, nil
+}
+
+// gen carries the generation state for one instance.
+type gen struct {
+	rng        *rand.Rand
+	nextTag    int
+	nextFiller int
+	frags      []*fragment.Fragment
+	maxOffset  int // hours past Base of the latest version generated
+	dropped    map[int]bool
+	profile    Profile
+}
+
+// tag-name pool; combined with the tag id so sibling names stay unique.
+var names = []string{
+	"item", "entry", "record", "event", "change", "note", "state",
+	"batch", "order", "reading", "visit", "span",
+}
+
+// Generate builds one instance from the profile. The same profile always
+// yields the identical instance.
+func Generate(p Profile) (*Instance, error) {
+	g := &gen{
+		rng:        rand.New(rand.NewSource(p.Seed)),
+		nextTag:    1,
+		nextFiller: fragment.RootFillerID + 1,
+		dropped:    map[int]bool{},
+		profile:    p,
+	}
+	root := g.genTag(0, tagstruct.Snapshot)
+	// a history without fragmented tags has no holes and tests nothing;
+	// force at least one temporal child under the root
+	if !hasFragmented(root) {
+		root.Children = append(root.Children, g.genTag(1, tagstruct.Temporal))
+	}
+	structure, err := tagstruct.New(root)
+	if err != nil {
+		return nil, err
+	}
+	// the root filler: one version at Base carrying the initial document
+	g.emit(fragment.RootFillerID, root, []int{0})
+	g.mutate()
+	ins := &Instance{
+		Profile:   p,
+		Structure: structure,
+		Fragments: g.frags,
+		Queries:   g.genQueries(structure),
+	}
+	// instants: the initial document, mid-history, and past every version
+	mid := Base.Add(time.Duration(g.maxOffset) * time.Hour / 2)
+	end := Base.Add(time.Duration(g.maxOffset+1) * time.Hour)
+	ins.Instants = []time.Time{Base, mid, end}
+	return ins, nil
+}
+
+// genTag builds a random tag subtree. Fragmented tags get shallower
+// children so generated documents stay small.
+func (g *gen) genTag(depth int, typ tagstruct.TagType) *tagstruct.Tag {
+	t := &tagstruct.Tag{
+		Type: typ,
+		ID:   g.nextTag,
+		Name: fmt.Sprintf("%s%d", names[g.rng.Intn(len(names))], g.nextTag),
+	}
+	g.nextTag++
+	if depth >= 3 {
+		return t
+	}
+	kids := g.rng.Intn(4 - depth)
+	for i := 0; i < kids; i++ {
+		var childType tagstruct.TagType
+		switch g.rng.Intn(4) {
+		case 0:
+			childType = tagstruct.Snapshot
+		case 1, 2:
+			childType = tagstruct.Temporal
+		default:
+			childType = tagstruct.Event
+		}
+		t.Children = append(t.Children, g.genTag(depth+1, childType))
+	}
+	return t
+}
+
+func hasFragmented(t *tagstruct.Tag) bool {
+	for _, c := range t.Children {
+		if c.IsFragmented() || hasFragmented(c) {
+			return true
+		}
+	}
+	return false
+}
+
+// emit generates the versions of one filler: for each hour offset in
+// offsets, one fragment whose payload is a fresh random element of the
+// tag — inline snapshot children, holes for fragmented children (their
+// fillers are emitted recursively). Every version of a filler carries
+// the same hole ids, exercising the resolve-once-per-id rule; new
+// fragmented instances appear as new fillers, not re-announced holes.
+func (g *gen) emit(fillerID int, tag *tagstruct.Tag, offsets []int) {
+	// allocate the hole set once so all versions agree on it
+	type holeSlot struct {
+		child *tagstruct.Tag
+		id    int
+	}
+	var holes []holeSlot
+	for _, c := range tag.Children {
+		if !c.IsFragmented() {
+			continue
+		}
+		instances := g.rng.Intn(3)
+		for i := 0; i < instances; i++ {
+			holes = append(holes, holeSlot{child: c, id: g.nextFiller})
+			g.nextFiller++
+		}
+	}
+	for _, off := range offsets {
+		payload := g.genElement(tag)
+		for _, h := range holes {
+			payload.AppendChild(fragment.NewHole(h.id, h.child.ID))
+		}
+		vt := Base.Add(time.Duration(off) * time.Hour)
+		if off > g.maxOffset {
+			g.maxOffset = off
+		}
+		g.frags = append(g.frags, fragment.New(fillerID, tag.ID, vt, payload))
+	}
+	for _, h := range holes {
+		if g.profile.Drops && g.rng.Intn(4) == 0 {
+			// dangling hole: the filler never arrives
+			g.dropped[h.id] = true
+			continue
+		}
+		g.emit(h.id, h.child, g.versionOffsets(h.child))
+	}
+}
+
+// versionOffsets picks the hour offsets of one filler's versions: events
+// get a single occurrence, temporal fillers 1–3 versions at increasing
+// times.
+func (g *gen) versionOffsets(tag *tagstruct.Tag) []int {
+	if tag.Type == tagstruct.Event {
+		return []int{g.rng.Intn(20)}
+	}
+	n := 1 + g.rng.Intn(3)
+	offs := make([]int, 0, n)
+	off := g.rng.Intn(6)
+	for i := 0; i < n; i++ {
+		offs = append(offs, off)
+		off += 1 + g.rng.Intn(8)
+	}
+	return offs
+}
+
+// genElement builds one version payload: the tag's element with a text
+// value and its snapshot children inlined recursively (their fragmented
+// descendants' holes belong to the enclosing filler and are appended by
+// emit's caller only at the top level — nested snapshot tags keep their
+// own fragmented children out of scope to keep documents bounded).
+func (g *gen) genElement(tag *tagstruct.Tag) *xmldom.Node {
+	el := xmldom.NewElement(tag.Name)
+	el.AppendChild(xmldom.NewText(fmt.Sprintf("v%d", g.rng.Intn(1000))))
+	for _, c := range tag.Children {
+		if c.IsFragmented() {
+			continue
+		}
+		el.AppendChild(g.genElement(c))
+	}
+	return el
+}
+
+// mutate applies the profile's wire-history mutations to the emitted
+// fragment order.
+func (g *gen) mutate() {
+	if g.profile.Reorder && len(g.frags) > 2 {
+		rest := g.frags[1:]
+		g.rng.Shuffle(len(rest), func(i, j int) { rest[i], rest[j] = rest[j], rest[i] })
+	}
+	if g.profile.Duplicates {
+		var out []*fragment.Fragment
+		for _, f := range g.frags {
+			out = append(out, f)
+			if g.rng.Intn(5) == 0 {
+				out = append(out, f)
+			}
+		}
+		g.frags = out
+	}
+}
+
+// genQueries derives the query set from the structure: descendant and
+// rooted-path selections, counts, interval and version projections for
+// every fragmented tag (bounded so large structures don't explode the
+// corpus).
+func (g *gen) genQueries(s *tagstruct.Structure) []Query {
+	var qs []Query
+	fragTags := 0
+	for _, t := range s.Tags() {
+		if !t.IsFragmented() {
+			continue
+		}
+		fragTags++
+		if fragTags > 6 {
+			break
+		}
+		qs = append(qs,
+			Query{"descendant-" + t.Name,
+				fmt.Sprintf(`for $x in stream("s")//%s return $x`, t.Name)},
+			Query{"count-" + t.Name,
+				fmt.Sprintf(`count(for $x in stream("s")//%s return $x)`, t.Name)},
+			Query{"path-" + t.Name,
+				fmt.Sprintf(`for $x in stream("s")%s return $x`, t.Path())},
+			Query{"interval-" + t.Name,
+				fmt.Sprintf(`for $x in stream("s")//%s?[2004-06-01T02:00:00,now] return $x`, t.Name)},
+			Query{"version-" + t.Name,
+				fmt.Sprintf(`for $x in stream("s")//%s#[1,last] return $x`, t.Name)},
+		)
+	}
+	// note: a bare stream("s") is deliberately absent — the plans render
+	// the document node differently (a known, pre-existing divergence);
+	// the equivalence claim is about element selections
+	qs = append(qs, Query{"root-count",
+		fmt.Sprintf(`count(stream("s")/%s)`, s.Root.Name)})
+	return qs
+}

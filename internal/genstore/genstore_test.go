@@ -1,0 +1,137 @@
+package genstore
+
+import (
+	"testing"
+
+	"xcql/internal/fragment"
+)
+
+// TestDeterminism: the same profile must yield the identical instance —
+// the harness reports failures by seed, so seeds must reproduce.
+func TestDeterminism(t *testing.T) {
+	p := Profile{Seed: 42, Reorder: true, Duplicates: true, Drops: true}
+	a, err := Generate(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Generate(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Structure.String() != b.Structure.String() {
+		t.Fatalf("structures differ across identical seeds")
+	}
+	if len(a.Fragments) != len(b.Fragments) {
+		t.Fatalf("fragment counts differ: %d vs %d", len(a.Fragments), len(b.Fragments))
+	}
+	for i := range a.Fragments {
+		fa, fb := a.Fragments[i], b.Fragments[i]
+		if fa.FillerID != fb.FillerID || fa.TSID != fb.TSID ||
+			!fa.ValidTime.Equal(fb.ValidTime) || fa.Payload.String() != fb.Payload.String() {
+			t.Fatalf("fragment %d differs: %v vs %v", i, fa, fb)
+		}
+	}
+	if len(a.Queries) != len(b.Queries) {
+		t.Fatalf("query counts differ")
+	}
+	for i := range a.Queries {
+		if a.Queries[i] != b.Queries[i] {
+			t.Fatalf("query %d differs: %+v vs %+v", i, a.Queries[i], b.Queries[i])
+		}
+	}
+}
+
+// TestStoresBuild: every profile across a seed range must produce a
+// store that ingests cleanly and holds a root filler at Base.
+func TestStoresBuild(t *testing.T) {
+	for seed := int64(1); seed <= 25; seed++ {
+		for _, p := range []Profile{
+			{Seed: seed},
+			{Seed: seed, Reorder: true},
+			{Seed: seed, Reorder: true, Duplicates: true, Drops: true},
+			{Seed: seed, Scan: true},
+		} {
+			ins, err := Generate(p)
+			if err != nil {
+				t.Fatalf("%s: %v", p, err)
+			}
+			st, err := ins.NewStore()
+			if err != nil {
+				t.Fatalf("%s: store: %v", p, err)
+			}
+			if st.LatestVersion(fragment.RootFillerID, Base) == nil {
+				t.Fatalf("%s: no root filler visible at Base", p)
+			}
+			if len(ins.Queries) == 0 || len(ins.Instants) == 0 {
+				t.Fatalf("%s: empty query or instant set", p)
+			}
+		}
+	}
+}
+
+// TestMutationsChangeWireOrderOnly: reordering must permute arrival
+// order without changing the set of (fillerID, validTime) versions, and
+// duplicates must only ever add copies of existing versions.
+func TestMutationsChangeWireOrderOnly(t *testing.T) {
+	base, err := Generate(Profile{Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	mutated, err := Generate(Profile{Seed: 7, Reorder: true, Duplicates: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	count := func(fs []*fragment.Fragment) map[string]int {
+		m := map[string]int{}
+		for _, f := range fs {
+			m[f.Payload.String()+f.ValidTime.String()]++
+		}
+		return m
+	}
+	bc, mc := count(base.Fragments), count(mutated.Fragments)
+	for k, n := range mc {
+		if bc[k] == 0 {
+			t.Fatalf("mutated history invented a version not in the base history")
+		}
+		if n < bc[k] {
+			t.Fatalf("mutated history lost a version")
+		}
+	}
+	if len(mutated.Fragments) < len(base.Fragments) {
+		t.Fatalf("duplicates profile shrank the history")
+	}
+}
+
+// TestDropsLeaveDanglingHoles: over a seed range, the drops profile must
+// actually produce at least one dangling hole (a hole id with no stored
+// versions) — otherwise the harness never exercises fault tolerance.
+func TestDropsLeaveDanglingHoles(t *testing.T) {
+	dangling := 0
+	for seed := int64(1); seed <= 25; seed++ {
+		ins, err := Generate(Profile{Seed: seed, Drops: true})
+		if err != nil {
+			t.Fatal(err)
+		}
+		st, err := ins.NewStore()
+		if err != nil {
+			t.Fatal(err)
+		}
+		stored := map[int]bool{}
+		for _, id := range st.FillerIDs() {
+			stored[id] = true
+		}
+		// count hole references pointing at absent fillers
+		for _, f := range ins.Fragments {
+			for _, c := range f.Payload.Children {
+				if fragment.IsHole(c) {
+					if id, err := fragment.HoleID(c); err == nil && !stored[id] {
+						dangling++
+					}
+				}
+			}
+		}
+	}
+	if dangling == 0 {
+		t.Fatalf("drops profile produced no dangling holes across 25 seeds")
+	}
+}

@@ -38,7 +38,7 @@ func TestHistogramQuantileAccuracy(t *testing.T) {
 		// mixed regimes: fast path ~µs, slow tail ~ms
 		var d time.Duration
 		if i%10 == 0 {
-			d = time.Duration(1+rng.Int63n(int64(5*time.Millisecond)))
+			d = time.Duration(1 + rng.Int63n(int64(5*time.Millisecond)))
 		} else {
 			d = time.Duration(1 + rng.Int63n(int64(50*time.Microsecond)))
 		}

@@ -24,9 +24,12 @@
 //
 // A nil *EvalStats is valid and means "not collecting": every method is
 // nil-receiver safe so instrumented call sites need no guards, mirroring
-// the budget package. An EvalStats is owned by one evaluation and is not
-// safe for concurrent use; snapshots taken after the evaluation are plain
-// values.
+// the budget package. An EvalStats is owned by one evaluation, but that
+// evaluation may fan hole resolution out over a worker pool, so the Add*
+// counter methods are atomic; the plain fields (Plan, phase times,
+// Parallelism, ParallelWait) are written only by the owning goroutine
+// before or after the fan-out. Snapshots taken after the evaluation are
+// plain values.
 package obs
 
 import (
@@ -73,6 +76,23 @@ type EvalStats struct {
 	Steps int64
 	Items int64
 
+	// CacheHits and CacheMisses count materialization-cache probes: a hit
+	// served a resolved subtree without touching the store, a miss fell
+	// through to a store lookup (and filled the cache). Zero when no cache
+	// is configured.
+	CacheHits   int64
+	CacheMisses int64
+	// ParallelTasks counts hole resolutions dispatched to the worker pool;
+	// zero under sequential execution. Parallelism is the configured worker
+	// count (0 or 1 = sequential).
+	ParallelTasks int64
+	Parallelism   int
+	// ParallelWait is the distribution of queue wait — enqueue of a hole
+	// resolution to the moment a worker picks it up. High waits mean the
+	// pool is saturated (more holes than workers); near-zero waits with few
+	// tasks mean the fan-out was not worth its overhead.
+	ParallelWait HistogramSnapshot
+
 	// Per-phase wall times. Parse and Translate are compile-time and
 	// copied from the owning query; Exec and Materialize are measured per
 	// evaluation; Total = Exec + Materialize.
@@ -86,14 +106,14 @@ type EvalStats struct {
 // AddFillers records n filler versions examined by a store lookup.
 func (s *EvalStats) AddFillers(n int) {
 	if s != nil {
-		s.FillersScanned += int64(n)
+		atomic.AddInt64(&s.FillersScanned, int64(n))
 	}
 }
 
 // AddHoles records n hole resolutions.
 func (s *EvalStats) AddHoles(n int) {
 	if s != nil {
-		s.HolesResolved += int64(n)
+		atomic.AddInt64(&s.HolesResolved, int64(n))
 	}
 }
 
@@ -103,18 +123,39 @@ func (s *EvalStats) AddTSIDLookup(fillers int) {
 	if s == nil {
 		return
 	}
-	s.TSIDLookups++
+	atomic.AddInt64(&s.TSIDLookups, 1)
 	if fillers > 0 {
-		s.TSIDIndexHits += int64(fillers)
+		atomic.AddInt64(&s.TSIDIndexHits, int64(fillers))
 	} else {
-		s.TSIDIndexMisses++
+		atomic.AddInt64(&s.TSIDIndexMisses, 1)
 	}
 }
 
 // AddNodes records n constructed elements.
 func (s *EvalStats) AddNodes(n int) {
 	if s != nil {
-		s.NodesConstructed += int64(n)
+		atomic.AddInt64(&s.NodesConstructed, int64(n))
+	}
+}
+
+// AddCacheHits records n materialization-cache hits.
+func (s *EvalStats) AddCacheHits(n int) {
+	if s != nil {
+		atomic.AddInt64(&s.CacheHits, int64(n))
+	}
+}
+
+// AddCacheMisses records n materialization-cache misses.
+func (s *EvalStats) AddCacheMisses(n int) {
+	if s != nil {
+		atomic.AddInt64(&s.CacheMisses, int64(n))
+	}
+}
+
+// AddParallelTasks records n hole resolutions handed to the worker pool.
+func (s *EvalStats) AddParallelTasks(n int) {
+	if s != nil {
+		atomic.AddInt64(&s.ParallelTasks, int64(n))
 	}
 }
 
@@ -123,11 +164,21 @@ func (s *EvalStats) String() string {
 	if s == nil {
 		return "<no stats>"
 	}
-	return fmt.Sprintf(
+	line := fmt.Sprintf(
 		"plan=%s fillers-scanned=%d holes-resolved=%d tsid-hits=%d tsid-misses=%d bytes=%d nodes=%d steps=%d items=%d exec=%v materialize=%v",
 		s.Plan, s.FillersScanned, s.HolesResolved, s.TSIDIndexHits, s.TSIDIndexMisses,
 		s.BytesMaterialized, s.NodesConstructed, s.Steps, s.Items,
 		s.ExecTime.Round(time.Microsecond), s.MaterializeTime.Round(time.Microsecond))
+	if s.CacheHits > 0 || s.CacheMisses > 0 {
+		line += fmt.Sprintf(" cache-hits=%d cache-misses=%d", s.CacheHits, s.CacheMisses)
+	}
+	if s.Parallelism > 1 {
+		line += fmt.Sprintf(" parallelism=%d parallel-tasks=%d wait-p50=%v wait-max=%v",
+			s.Parallelism, s.ParallelTasks,
+			s.ParallelWait.Quantile(0.50).Round(time.Microsecond),
+			time.Duration(s.ParallelWait.Max).Round(time.Microsecond))
+	}
+	return line
 }
 
 // --- tracing ---------------------------------------------------------------

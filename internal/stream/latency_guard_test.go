@@ -1,0 +1,41 @@
+package stream
+
+import (
+	"testing"
+
+	"xcql/internal/fragment"
+)
+
+// TestCraftedFrameCannotInjectDeliveryLatency: a frame decoded off the
+// wire carrying a forged publishedAt attribute must reach the client
+// unstamped, so the delivery-latency histogram records nothing. Without
+// the decode-side guard, one crafted frame with an ancient stamp would
+// put an arbitrary multi-year sample into the p99.
+func TestCraftedFrameCannotInjectDeliveryLatency(t *testing.T) {
+	c := NewClient("sensors", sensorStructure(t))
+	defer c.Close()
+
+	crafted := `<filler id="0" tsid="1" validTime="2003-01-01T00:00:00" publishedAt="1970-01-01T00:00:00"><sensors><hole id="1" tsid="2"/></sensors></filler>`
+	f, err := fragment.Parse(crafted)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !f.PublishedAt.IsZero() {
+		t.Fatalf("decode let the wire set PublishedAt = %v", f.PublishedAt)
+	}
+	c.Apply(f)
+	if n := c.DeliveryLatency().Count(); n != 0 {
+		t.Fatalf("crafted frame produced %d delivery-latency samples, want 0", n)
+	}
+	if got := c.Store().Len(); got != 1 {
+		t.Fatalf("fragment itself should still apply: store len = %d", got)
+	}
+
+	// an in-process publish stamp (same clock domain) still measures
+	g := eventFragment(1, "2003-01-02T00:00:00", "v")
+	g.PublishedAt = g.ValidTime // any non-zero local stamp
+	c.Apply(g)
+	if n := c.DeliveryLatency().Count(); n != 1 {
+		t.Fatalf("local stamp produced %d samples, want 1", n)
+	}
+}

@@ -44,10 +44,41 @@ func TemporalizeBudget(st *fragment.Store, at time.Time, b *budget.Budget) (*xml
 // element is recorded in s — this is how the CaQ plan's whole-document
 // construction shows up in EvalStats. A nil s collects nothing.
 func TemporalizeObserved(st *fragment.Store, at time.Time, b *budget.Budget, s *obs.EvalStats) (view *xmldom.Node, err error) {
+	return TemporalizeWith(st, at, TemporalizeOptions{Budget: b, Stats: s})
+}
+
+// TemporalizeOptions configures TemporalizeWith beyond the instant:
+// metering, caching and parallel hole resolution. The zero value is
+// plain sequential, uncached, unmetered reconstruction.
+type TemporalizeOptions struct {
+	// Budget meters the walk (see TemporalizeBudget); nil is unlimited.
+	Budget *budget.Budget
+	// Stats collects cost counters (see TemporalizeObserved); nil
+	// collects nothing.
+	Stats *obs.EvalStats
+	// Cache, when non-nil, memoizes hole resolutions across evaluations
+	// (a hit skips the store pass and counts CacheHits instead of
+	// FillersScanned).
+	Cache *fragment.Cache
+	// Parallelism > 1 resolves the view's hole closure on that many
+	// workers before the sequential assembly walk; the output is
+	// byte-identical to sequential reconstruction.
+	Parallelism int
+	// Wait, when non-nil, receives the pool's queue-wait observations.
+	Wait *obs.Histogram
+}
+
+// TemporalizeWith is the fully configurable temporalize: sequential and
+// cacheless by default, optionally resolving the hole closure on a
+// worker pool (phase A) before the unchanged sequential assembly (phase
+// B) — see the two-phase contract in parallel.go. Whatever the options,
+// the returned view is byte-identical to Temporalize's.
+func TemporalizeWith(st *fragment.Store, at time.Time, opts TemporalizeOptions) (view *xmldom.Node, err error) {
 	root := st.LatestVersion(fragment.RootFillerID, at)
 	if root == nil {
 		return nil, fmt.Errorf("temporal: root filler has not arrived")
 	}
+	b, s := opts.Budget, opts.Stats
 	defer func() {
 		if p := recover(); p != nil {
 			if re, ok := p.(*budget.ResourceError); ok {
@@ -57,16 +88,39 @@ func TemporalizeObserved(st *fragment.Store, at time.Time, b *budget.Budget, s *
 			panic(p)
 		}
 	}()
+	// Each resolution charges exactly what the inline sequential walk
+	// charged: the resolved cardinality against the budget, one hole and
+	// the lookup-pass cost against the stats. A cache hit skips the store
+	// pass, so it counts CacheHits instead of FillersScanned.
+	resolve := func(id int) []*xmldom.Node {
+		fillers, hit := opts.Cache.GetFillers(st, id, at)
+		b.MustItems(len(fillers))
+		s.AddHoles(1)
+		if hit {
+			s.AddCacheHits(1)
+		} else {
+			if opts.Cache != nil {
+				s.AddCacheMisses(1)
+			}
+			s.AddFillers(st.LookupCost(len(fillers)))
+		}
+		return fillers
+	}
 	seen := make(map[int]bool)
 	s.AddFillers(st.LookupCost(1)) // the root filler lookup is a pass too
-	return temporalizeElement(st, root.Payload, at, seen, b, s), nil
+	if opts.Parallelism > 1 {
+		resolve = Prefetch([]*xmldom.Node{root.Payload}, resolve, opts.Parallelism, opts.Wait, s)
+	}
+	return temporalizeElement(resolve, root.Payload, seen, b, s), nil
 }
 
 // temporalizeElement copies el, replacing hole children with their fillers
 // recursively. Mirrors the paper's temporalize/get_fillers pair. The walk
 // charges the budget per copied element and aborts by panicking with the
-// *budget.ResourceError (contained by TemporalizeBudget).
-func temporalizeElement(st *fragment.Store, el *xmldom.Node, at time.Time, seen map[int]bool, b *budget.Budget, s *obs.EvalStats) *xmldom.Node {
+// *budget.ResourceError (contained by TemporalizeWith). Hole resolution
+// — and its cardinality/stats charging — lives in the resolver, so the
+// walk itself is identical for direct, cached and prefetched execution.
+func temporalizeElement(resolve HoleResolver, el *xmldom.Node, seen map[int]bool, b *budget.Budget, s *obs.EvalStats) *xmldom.Node {
 	b.MustStep()
 	b.MustBytes(int64(el.ShallowSize()))
 	s.AddNodes(1)
@@ -83,16 +137,12 @@ func temporalizeElement(st *fragment.Store, el *xmldom.Node, at time.Time, seen 
 				continue
 			}
 			seen[id] = true
-			fillers := st.GetFillers(id, at)
-			b.MustItems(len(fillers))
-			s.AddHoles(1)
-			s.AddFillers(st.LookupCost(len(fillers)))
-			for _, filler := range fillers {
-				out.AppendChild(temporalizeElement(st, filler, at, seen, b, s))
+			for _, filler := range resolve(id) {
+				out.AppendChild(temporalizeElement(resolve, filler, seen, b, s))
 			}
 			continue
 		}
-		out.AppendChild(temporalizeElement(st, c, at, seen, b, s))
+		out.AppendChild(temporalizeElement(resolve, c, seen, b, s))
 	}
 	return out
 }

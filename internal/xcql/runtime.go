@@ -38,6 +38,12 @@ type Runtime struct {
 	// tracing entirely, and the disabled path neither allocates nor
 	// reads the clock beyond the always-on phase timings.
 	trace obs.TraceSink
+
+	// parallelism and cache are the runtime-wide execution defaults,
+	// overridable per query (Query.WithParallelism / Query.WithCache).
+	// parallelism <= 1 means sequential; a nil cache disables caching.
+	parallelism int
+	cache       *fragment.Cache
 }
 
 // NewRuntime returns an empty runtime.
@@ -125,6 +131,42 @@ func (rt *Runtime) release() {
 	rt.mu.Unlock()
 }
 
+// SetParallelism sets the runtime-wide default hole-resolution
+// parallelism: n > 1 fans independent hole resolutions out over n
+// workers during reconstruction and result materialization; n <= 1 (the
+// default) is sequential. Results are byte-identical either way.
+// Queries override it with WithParallelism.
+func (rt *Runtime) SetParallelism(n int) {
+	rt.mu.Lock()
+	defer rt.mu.Unlock()
+	if n < 0 {
+		n = 0
+	}
+	rt.parallelism = n
+}
+
+// SetCache installs a runtime-wide filler materialization cache bounded
+// to size entries; size <= 0 removes it. The cache is shared by every
+// query on this runtime (continuous queries warm it for each other) and
+// invalidates itself on store ingest. Queries override it with
+// WithCache.
+func (rt *Runtime) SetCache(size int) {
+	rt.mu.Lock()
+	defer rt.mu.Unlock()
+	if size <= 0 {
+		rt.cache = nil
+		return
+	}
+	rt.cache = fragment.NewCache(size)
+}
+
+// Cache returns the runtime-wide cache installed by SetCache, or nil.
+func (rt *Runtime) Cache() *fragment.Cache {
+	rt.mu.RLock()
+	defer rt.mu.RUnlock()
+	return rt.cache
+}
+
 // SetTraceSink installs (or, with nil, removes) the span sink that
 // receives parse/translate/execute/materialize trace events for every
 // compile and evaluation on this runtime.
@@ -159,8 +201,64 @@ type Query struct {
 	parseTime     time.Duration
 	translateTime time.Duration
 
+	// per-query execution options; unset falls back to the runtime-wide
+	// defaults (Runtime.SetParallelism / Runtime.SetCache).
+	parallelism    int
+	parallelismSet bool
+	cache          *fragment.Cache
+	cacheSet       bool
+
 	statsMu   sync.Mutex
 	lastStats *obs.EvalStats
+}
+
+// WithParallelism overrides the runtime's default hole-resolution
+// parallelism for this query: n > 1 fans hole resolution out over n
+// workers, n <= 1 forces sequential execution even when the runtime
+// default is parallel. Returns q for chaining; set it before sharing the
+// query across goroutines.
+func (q *Query) WithParallelism(n int) *Query {
+	if n < 0 {
+		n = 0
+	}
+	q.parallelism = n
+	q.parallelismSet = true
+	return q
+}
+
+// WithCache gives this query its own filler materialization cache
+// bounded to size entries, overriding the runtime-wide cache; size <= 0
+// disables caching for this query even when the runtime has a cache.
+// Returns q for chaining; set it before sharing the query across
+// goroutines.
+func (q *Query) WithCache(size int) *Query {
+	if size <= 0 {
+		q.cache = nil
+	} else {
+		q.cache = fragment.NewCache(size)
+	}
+	q.cacheSet = true
+	return q
+}
+
+// QueryCache returns the cache this query's evaluations use: its own
+// (WithCache), else the runtime-wide one. Nil means caching is off.
+func (q *Query) QueryCache() *fragment.Cache {
+	if q.cacheSet {
+		return q.cache
+	}
+	return q.rt.Cache()
+}
+
+// Parallelism returns the worker count this query's evaluations use
+// (0 or 1 means sequential).
+func (q *Query) Parallelism() int {
+	if q.parallelismSet {
+		return q.parallelism
+	}
+	q.rt.mu.RLock()
+	defer q.rt.mu.RUnlock()
+	return q.rt.parallelism
 }
 
 // LastStats returns a snapshot of the cost counters from the most recent
@@ -262,14 +360,21 @@ func (q *Query) eval(ctx context.Context, at time.Time, lim Limits, materialize 
 		return nil, err
 	}
 	defer q.rt.release()
+	par := q.Parallelism()
+	cache := q.QueryCache()
 	stats := &obs.EvalStats{
 		Plan:          q.Mode.String(),
 		ParseTime:     q.parseTime,
 		TranslateTime: q.translateTime,
+		Parallelism:   par,
 	}
 	sink := q.rt.traceSink()
 	b := budget.New(ctx, lim)
-	static := q.rt.newStatic(at, b, stats)
+	var wait *obs.Histogram
+	if par > 1 {
+		wait = obs.NewHistogram()
+	}
+	static := q.rt.newStatic(at, b, stats, par, cache, wait)
 	start := time.Now()
 	defer func() {
 		if p := recover(); p != nil {
@@ -288,6 +393,7 @@ func (q *Query) eval(ctx context.Context, at time.Time, lim Limits, materialize 
 		// stats are recorded even on failure: a tripped budget still
 		// shows how far the evaluation got before it was cut off.
 		stats.Steps, stats.Items, stats.BytesMaterialized = b.Used()
+		stats.ParallelWait = wait.Snapshot()
 		stats.TotalTime = time.Since(start)
 		q.storeStats(stats)
 		if sink != nil {
@@ -305,7 +411,7 @@ func (q *Query) eval(ctx context.Context, at time.Time, lim Limits, materialize 
 	}
 	if materialize {
 		matStart := time.Now()
-		seq = q.rt.materializeResult(seq, at, b, stats)
+		seq = q.rt.materializeResult(seq, static)
 		stats.MaterializeTime = time.Since(matStart)
 		if sink != nil {
 			sink.Span("materialize", q.Mode.String(), matStart, stats.MaterializeTime)
@@ -325,8 +431,9 @@ func (q *Query) wrapResource(err error) error {
 }
 
 // newStatic assembles the evaluation environment: intrinsics, user
-// functions, the resolvers, and the evaluation's resource budget.
-func (rt *Runtime) newStatic(at time.Time, b *budget.Budget, s *obs.EvalStats) *xq.Static {
+// functions, the resolvers, the evaluation's resource budget, and the
+// parallelism/cache execution options.
+func (rt *Runtime) newStatic(at time.Time, b *budget.Budget, s *obs.EvalStats, par int, cache *fragment.Cache, wait *obs.Histogram) *xq.Static {
 	funcs := map[string]xq.Func{
 		fnView:     rt.intrView,
 		fnRoot:     rt.intrRoot,
@@ -341,13 +448,9 @@ func (rt *Runtime) newStatic(at time.Time, b *budget.Budget, s *obs.EvalStats) *
 		funcs[name] = f
 	}
 	rt.mu.RUnlock()
-	return &xq.Static{
+	static := &xq.Static{
 		Now:   at,
 		Funcs: funcs,
-		Stream: func(name string) (xq.Sequence, error) {
-			// uncompiled stream() access sees the materialized view
-			return rt.intrViewNamed(name, at, b, s)
-		},
 		Doc: func(uri string) (*xmldom.Node, error) {
 			rt.mu.RLock()
 			defer rt.mu.RUnlock()
@@ -356,24 +459,40 @@ func (rt *Runtime) newStatic(at time.Time, b *budget.Budget, s *obs.EvalStats) *
 			}
 			return nil, fmt.Errorf("xcql: unknown document %q", uri)
 		},
-		Holes:  temporal.BudgetResolver(b, rt.combinedResolver(at, s)),
-		Budget: b,
-		Stats:  s,
+		Holes:       temporal.BudgetResolver(b, rt.combinedResolver(at, s, cache)),
+		Budget:      b,
+		Stats:       s,
+		Parallelism: par,
+		Cache:       cache,
+		Wait:        wait,
 	}
+	static.Stream = func(name string) (xq.Sequence, error) {
+		// uncompiled stream() access sees the materialized view
+		return rt.intrViewNamed(name, static)
+	}
+	return static
 }
 
 // combinedResolver resolves hole ids across all registered stores; filler
 // ids are unique within a stream, and servers are expected to keep id
 // spaces disjoint across streams they co-publish (ours do). Each store
-// tried counts as one lookup pass in the stats (nil s collects nothing).
-func (rt *Runtime) combinedResolver(at time.Time, s *obs.EvalStats) temporal.HoleResolver {
+// tried counts as one lookup pass in the stats (nil s collects nothing);
+// with a cache, a hit replaces the pass with a CacheHits count.
+func (rt *Runtime) combinedResolver(at time.Time, s *obs.EvalStats, cache *fragment.Cache) temporal.HoleResolver {
 	return func(holeID int) []*xmldom.Node {
 		s.AddHoles(1)
 		rt.mu.RLock()
 		defer rt.mu.RUnlock()
 		for _, st := range rt.stores {
-			els := st.GetFillers(holeID, at)
-			s.AddFillers(st.LookupCost(len(els)))
+			els, hit := cache.GetFillers(st, holeID, at)
+			if hit {
+				s.AddCacheHits(1)
+			} else {
+				if cache != nil {
+					s.AddCacheMisses(1)
+				}
+				s.AddFillers(st.LookupCost(len(els)))
+			}
 			if len(els) > 0 {
 				return els
 			}
@@ -418,14 +537,20 @@ func chargeNodes(b *budget.Budget, seq xq.Sequence) error {
 	return b.AddBytes(n)
 }
 
-func (rt *Runtime) intrViewNamed(name string, at time.Time, b *budget.Budget, s *obs.EvalStats) (xq.Sequence, error) {
+func (rt *Runtime) intrViewNamed(name string, static *xq.Static) (xq.Sequence, error) {
 	st, err := rt.storeOrErr(name)
 	if err != nil {
 		return nil, err
 	}
 	// CaQ's whole-document materialization is metered: an oversized view
 	// aborts mid-reconstruction instead of exhausting memory first
-	view, err := temporal.TemporalizeObserved(st, at, b, s)
+	view, err := temporal.TemporalizeWith(st, static.Now, temporal.TemporalizeOptions{
+		Budget:      static.Budget,
+		Stats:       static.Stats,
+		Cache:       static.Cache,
+		Parallelism: static.Parallelism,
+		Wait:        static.Wait,
+	})
 	if err != nil {
 		return nil, err
 	}
@@ -435,7 +560,7 @@ func (rt *Runtime) intrViewNamed(name string, at time.Time, b *budget.Budget, s 
 }
 
 func (rt *Runtime) intrView(ctx *xq.Context, args []xq.Sequence) (xq.Sequence, error) {
-	return rt.intrViewNamed(argString(args, 0), ctx.Static.Now, ctx.Static.Budget, ctx.Static.Stats)
+	return rt.intrViewNamed(argString(args, 0), ctx.Static)
 }
 
 func (rt *Runtime) intrRoot(ctx *xq.Context, args []xq.Sequence) (xq.Sequence, error) {
@@ -456,6 +581,11 @@ func (rt *Runtime) intrRoot(ctx *xq.Context, args []xq.Sequence) (xq.Sequence, e
 
 // intrFillers is get_fillers of §5: for every hole with the given tsid in
 // the input nodes, return the versions of its fillers.
+//
+// The per-hole store passes are independent of each other, so this is
+// the QaC fan-out point: with Parallelism > 1 the distinct ids resolve
+// on the worker pool and the output is assembled from the memo in the
+// original order — the sequential concatenation order, byte for byte.
 func (rt *Runtime) intrFillers(ctx *xq.Context, args []xq.Sequence) (xq.Sequence, error) {
 	if len(args) != 3 {
 		return nil, fmt.Errorf("xcql: %s wants (nodes, stream, tsid)", fnFillers)
@@ -468,46 +598,98 @@ func (rt *Runtime) intrFillers(ctx *xq.Context, args []xq.Sequence) (xq.Sequence
 		return nil, fmt.Errorf("xcql: empty tsid argument")
 	}
 	tsid := int(xq.NumberValue(args[2][0]))
-	var out xq.Sequence
-	// resolve each filler id once per call: several versions of the same
-	// container carry the same holes, and a child is one element, not one
-	// element per parent version (matches Temporalize's rule)
+	// collect the ordered work list: inline (already materialized)
+	// elements interleave with hole ids, and each filler id resolves once
+	// per call — several versions of the same container carry the same
+	// holes, and a child is one element, not one element per parent
+	// version (matches Temporalize's rule)
+	type item struct {
+		inline *xmldom.Node
+		id     int
+		isID   bool
+	}
+	var order []item
+	var ids []int
 	resolved := make(map[int]bool)
 	for _, n := range xq.Nodes(args[0]) {
-		ids := fragment.HoleIDs(n, tsid)
-		if len(ids) == 0 {
+		holeIDs := fragment.HoleIDs(n, tsid)
+		if len(holeIDs) == 0 {
 			// The node may already be materialized (e.g. the output of an
 			// interval projection, which resolves holes while clipping);
 			// the versions then sit inline as name-matched children.
 			if tag := st.Structure().ByID(tsid); tag != nil {
 				for _, c := range n.ChildElements(tag.Name) {
-					out = append(out, c)
+					order = append(order, item{inline: c})
 				}
 			}
 			continue
 		}
-		for _, id := range ids {
+		for _, id := range holeIDs {
 			if resolved[id] {
 				continue
 			}
 			resolved[id] = true
-			if err := ctx.Static.Budget.Step(); err != nil {
-				return nil, err
-			}
-			// one store pass per hole id: this is the per-hole cost the
-			// QaC plan pays and the batched QaC+ flavour avoids
-			els := st.GetFillers(id, ctx.Static.Now)
-			ctx.Static.Stats.AddHoles(1)
-			ctx.Static.Stats.AddFillers(st.LookupCost(len(els)))
-			for _, el := range els {
-				out = append(out, el)
-			}
+			ids = append(ids, id)
+			order = append(order, item{id: id, isID: true})
+		}
+	}
+	// one store pass per hole id: this is the per-hole cost the QaC plan
+	// pays and the batched QaC+ flavour avoids
+	memo, err := rt.resolvePerHole(ctx.Static, st, ids)
+	if err != nil {
+		return nil, err
+	}
+	var out xq.Sequence
+	for _, it := range order {
+		if !it.isID {
+			out = append(out, it.inline)
+			continue
+		}
+		for _, el := range memo[it.id] {
+			out = append(out, el)
 		}
 	}
 	if err := chargeNodes(ctx.Static.Budget, out); err != nil {
 		return nil, err
 	}
 	return out, nil
+}
+
+// resolvePerHole issues one get_fillers pass per id — sequentially, or
+// on the worker pool when the evaluation's Parallelism allows. Every
+// resolution charges one budget step (cancellation poll), one hole and
+// either the lookup-pass cost (store hit) or a cache hit.
+func (rt *Runtime) resolvePerHole(static *xq.Static, st *fragment.Store, ids []int) (map[int][]*xmldom.Node, error) {
+	resolveCharged := func(id int) []*xmldom.Node {
+		els, hit := static.Cache.GetFillers(st, id, static.Now)
+		static.Stats.AddHoles(1)
+		if hit {
+			static.Stats.AddCacheHits(1)
+		} else {
+			if static.Cache != nil {
+				static.Stats.AddCacheMisses(1)
+			}
+			static.Stats.AddFillers(st.LookupCost(len(els)))
+		}
+		return els
+	}
+	if static.Parallelism > 1 && len(ids) > 1 {
+		resolve := func(id int) []*xmldom.Node {
+			// MustStep: workers cannot return errors; the pool re-raises
+			// the budget panic on the caller, where eval() contains it
+			static.Budget.MustStep()
+			return resolveCharged(id)
+		}
+		return temporal.ResolveIDs(ids, resolve, static.Parallelism, static.Wait, static.Stats), nil
+	}
+	memo := make(map[int][]*xmldom.Node, len(ids))
+	for _, id := range ids {
+		if err := static.Budget.Step(); err != nil {
+			return nil, err
+		}
+		memo[id] = resolveCharged(id)
+	}
+	return memo, nil
 }
 
 // intrFillersBatch is the QaC+ flavour of get_fillers: it collects every
@@ -548,10 +730,18 @@ func (rt *Runtime) intrFillersBatch(ctx *xq.Context, args []xq.Sequence) (xq.Seq
 	}
 	if len(ids) > 0 {
 		// the whole id set resolves in ONE pass over the store — the
-		// unnested get_fillers of §8 that separates QaC+ from QaC
-		els := st.GetFillersList(ids, ctx.Static.Now)
+		// unnested get_fillers of §8 that separates QaC+ from QaC. With a
+		// cache, resident ids are served from memory and only the misses
+		// share that one pass (Cache.GetFillersList); scanned is then the
+		// miss pass's cost, or the full pass on a nil cache.
+		cache := ctx.Static.Cache
+		els, hits, misses, scanned := cache.GetFillersList(st, ids, ctx.Static.Now)
 		ctx.Static.Stats.AddHoles(len(ids))
-		ctx.Static.Stats.AddFillers(st.LookupCost(len(els)))
+		ctx.Static.Stats.AddFillers(scanned)
+		if cache != nil {
+			ctx.Static.Stats.AddCacheHits(hits)
+			ctx.Static.Stats.AddCacheMisses(misses)
+		}
 		for _, el := range els {
 			out = append(out, el)
 		}
@@ -579,9 +769,17 @@ func (rt *Runtime) intrByTSID(ctx *xq.Context, args []xq.Sequence) (xq.Sequence,
 			continue
 		}
 		tsid := int(xq.NumberValue(a[0]))
-		els := st.GetFillersByTSID(tsid, ctx.Static.Now)
+		cache := ctx.Static.Cache
+		els, hit := cache.GetFillersByTSID(st, tsid, ctx.Static.Now)
 		ctx.Static.Stats.AddTSIDLookup(len(els))
-		ctx.Static.Stats.AddFillers(st.LookupCost(len(els)))
+		if hit {
+			ctx.Static.Stats.AddCacheHits(1)
+		} else {
+			if cache != nil {
+				ctx.Static.Stats.AddCacheMisses(1)
+			}
+			ctx.Static.Stats.AddFillers(st.LookupCost(len(els)))
+		}
 		for _, el := range els {
 			out = append(out, el)
 		}
@@ -674,8 +872,26 @@ func endpointVersion(seq xq.Sequence) (n int, last, ok bool) {
 // The resolver charges the budget, so an attack that hides its bulk
 // behind holes in the result still trips mid-materialization (the panic
 // is contained by Query.eval).
-func (rt *Runtime) materializeResult(seq xq.Sequence, at time.Time, b *budget.Budget, s *obs.EvalStats) xq.Sequence {
-	resolver := temporal.BudgetResolver(b, rt.combinedResolver(at, s))
+//
+// With Parallelism > 1, the transitive hole closure of every holed
+// result item is prefetched on the worker pool first (phase A) and the
+// sequential fill below reads the memo (phase B), so the output stays
+// byte-identical to sequential materialization. The memo resolves each
+// id once for the whole result; the sequential path deliberately keeps
+// its one-seen-map-per-item charging (the pre-existing behaviour), so
+// budget/stats totals — not results — may differ between the two.
+func (rt *Runtime) materializeResult(seq xq.Sequence, static *xq.Static) xq.Sequence {
+	s := static.Stats
+	resolver := temporal.BudgetResolver(static.Budget, rt.combinedResolver(static.Now, s, static.Cache))
+	if static.Parallelism > 1 {
+		var holed []*xmldom.Node
+		for _, it := range seq {
+			if n, ok := it.(*xmldom.Node); ok && hasHoles(n) {
+				holed = append(holed, n)
+			}
+		}
+		resolver = temporal.Prefetch(holed, resolver, static.Parallelism, static.Wait, s)
+	}
 	out := make(xq.Sequence, 0, len(seq))
 	for _, it := range seq {
 		n, ok := it.(*xmldom.Node)

@@ -8,6 +8,7 @@ import (
 	"time"
 
 	"xcql/internal/budget"
+	"xcql/internal/fragment"
 	"xcql/internal/obs"
 	"xcql/internal/temporal"
 	"xcql/internal/xmldom"
@@ -42,6 +43,17 @@ type Static struct {
 	// resolved, nodes constructed, …) for the observability layer. nil
 	// means "not collecting"; every obs method is nil-safe.
 	Stats *obs.EvalStats
+	// Parallelism is the hole-resolution worker count the plans may fan
+	// out to (0 or 1 means sequential). Results are byte-identical either
+	// way; only wall clock and scheduling differ.
+	Parallelism int
+	// Cache memoizes resolved filler subtrees across evaluations; nil
+	// (the default) disables caching. Every fragment.Cache method is
+	// nil-safe.
+	Cache *fragment.Cache
+	// Wait receives the worker pool's queue-wait observations when
+	// Parallelism > 1; nil collects nothing.
+	Wait *obs.Histogram
 }
 
 // Func is a registered function implementation.
