@@ -2,9 +2,9 @@
 GO       ?= go
 FUZZTIME ?= 10s
 
-.PHONY: check vet static build test race race-stream test-diffharness fuzz-smoke bench bench-json bench-diff bench-diff-smoke
+.PHONY: check vet static build test race race-stream test-diffharness test-diffharness-incremental fuzz-smoke bench bench-json bench-diff bench-diff-smoke
 
-check: vet static build race race-stream test-diffharness bench-diff-smoke fuzz-smoke
+check: vet static build race race-stream test-diffharness test-diffharness-incremental bench-diff-smoke fuzz-smoke
 
 vet:
 	$(GO) vet ./...
@@ -40,6 +40,13 @@ race-stream:
 test-diffharness:
 	$(GO) test -race -run '^TestDiffHarness$$' -timeout 300s .
 
+# The incremental cell: the same >=200 generated pairs REPLAYED one
+# arrival at a time, incremental deltas byte-identical to full
+# re-evaluation across the strategy grid, plus the arrival-order
+# metamorphic suite.
+test-diffharness-incremental:
+	$(GO) test -race -run '^(TestDiffHarnessIncremental|TestIncrementalArrivalOrder)$$' -timeout 600s .
+
 # A short deterministic shake of each fuzz target; longer runs are
 # `make fuzz-smoke FUZZTIME=5m`. `-run '^$'` skips the unit tests that
 # already ran under `race`.
@@ -48,6 +55,7 @@ fuzz-smoke:
 	$(GO) test ./internal/stream -run '^$$' -fuzz '^FuzzReadFrame$$' -fuzztime $(FUZZTIME)
 	$(GO) test ./internal/stream -run '^$$' -fuzz '^FuzzFrameRoundTrip$$' -fuzztime $(FUZZTIME)
 	$(GO) test ./internal/xcql -run '^$$' -fuzz '^FuzzCompile$$' -fuzztime $(FUZZTIME)
+	$(GO) test . -run '^$$' -fuzz '^FuzzIncrementalArrival$$' -fuzztime $(FUZZTIME)
 
 bench:
 	$(GO) test -bench=. -benchmem
@@ -56,9 +64,10 @@ bench:
 # benchmarks (quick scales) as JSON — cost counters and latency quantiles
 # included — the cross-PR performance trajectory. Compare two snapshots
 # with bench-diff.
-BENCHOUT ?= BENCH_pr5.json
+BENCHOUT ?= BENCH_pr6.json
 bench-json:
-	$(GO) test -run '^$$' -bench '^(BenchmarkFigure4|BenchmarkSelectivity|BenchmarkContinuous|BenchmarkParallelCache)$$' -benchmem -short . \
+	( $(GO) test -run '^$$' -bench '^(BenchmarkFigure4|BenchmarkSelectivity|BenchmarkContinuous|BenchmarkParallelCache)$$' -benchmem -short . ; \
+	  $(GO) test -run '^$$' -bench '^BenchmarkIncrementalContinuous$$' -benchtime 300x -benchmem -short . ) \
 		| $(GO) run ./cmd/benchjson > $(BENCHOUT)
 
 # Regression table between two snapshots:

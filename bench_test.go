@@ -17,12 +17,14 @@ package xcql_test
 
 import (
 	"fmt"
+	"strings"
 	"testing"
 	"time"
 
 	"xcql/internal/evalbench"
 	"xcql/internal/fragment"
 	"xcql/internal/obs"
+	"xcql/internal/stream"
 	"xcql/internal/tagstruct"
 	"xcql/internal/temporal"
 	ixcql "xcql/internal/xcql"
@@ -453,5 +455,84 @@ func mustAdd(b *testing.B, st *fragment.Store, f *fragment.Fragment) {
 	b.Helper()
 	if err := st.Add(f); err != nil {
 		b.Fatal(err)
+	}
+}
+
+// BenchmarkIncrementalContinuous pits incremental continuous evaluation
+// against full re-evaluation on the streaming credit workload at three
+// store scales (1x/10x/100x). Each iteration ingests one new charge
+// event and evaluates: full mode re-reads the whole store, so its
+// per-fragment cost grows with the preload; the incremental engine
+// touches only the arriving fragment's partial-match unit, so its cost
+// stays flat. buffered-bytes-hwm is the engine's standing-buffer
+// high-water mark; handlers/op counts the units the last arrival
+// recomputed.
+func BenchmarkIncrementalContinuous(b *testing.B) {
+	for _, mode := range []string{"full", "incremental"} {
+		for _, preload := range []int{100, 1000, 10000} {
+			b.Run(fmt.Sprintf("%s/events=%d", mode, preload), func(b *testing.B) {
+				structure, err := tagstruct.ParseString(benchCreditStructure)
+				if err != nil {
+					b.Fatal(err)
+				}
+				st := fragment.NewStore(structure)
+				base := time.Date(2003, time.November, 1, 0, 0, 0, 0, time.UTC)
+				el := func(src string) *xmldom.Node { return xmldom.MustParseString(src).Root() }
+				// announce every filler up front — preloaded and arriving —
+				// so arrivals are pure event ingest, no re-announcement
+				var holes strings.Builder
+				holes.WriteString(`<hole id="2" tsid="4"/>`)
+				for i := 0; i < preload+b.N; i++ {
+					fmt.Fprintf(&holes, `<hole id="%d" tsid="5"/>`, 100+i)
+				}
+				mustAdd(b, st, fragment.New(0, 1, base, el(`<creditAccounts><hole id="1" tsid="2"/></creditAccounts>`)))
+				mustAdd(b, st, fragment.New(1, 2, base, el(`<account id="1234"><customer>J</customer>`+holes.String()+`</account>`)))
+				mustAdd(b, st, fragment.New(2, 4, base, el(`<creditLimit>5000</creditLimit>`)))
+				newTx := func(i int) *fragment.Fragment {
+					tx := fmt.Sprintf(`<transaction id="t%d"><vendor>V</vendor><amount>%d</amount></transaction>`, i, 10+i%90)
+					return fragment.New(100+i, 5, base.Add(time.Duration(i)*time.Second), el(tx))
+				}
+				for i := 0; i < preload; i++ {
+					mustAdd(b, st, newTx(i))
+				}
+				rt := ixcql.NewRuntime()
+				rt.RegisterStream("credit", st)
+				q, err := rt.Compile(`for $t in stream("credit")//transaction return $t`, ixcql.QaCPlus)
+				if err != nil {
+					b.Fatal(err)
+				}
+				at := base.Add(time.Duration(preload) * time.Second)
+				cq := stream.NewContinuousQuery(q, func(stream.Result) {})
+				cq.Clock = func() time.Time { return at }
+				if mode == "incremental" {
+					cq.WithIncremental(true)
+				}
+				// seed the standing state outside the timer
+				if err := cq.EvaluateFragment(nil); err != nil {
+					b.Fatal(err)
+				}
+				// prebuild the arrival fragments so the timer measures
+				// ingest + evaluation, not payload parsing
+				arrivals := make([]*fragment.Fragment, b.N)
+				for i := range arrivals {
+					arrivals[i] = newTx(preload + i)
+				}
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					f := arrivals[i]
+					if f.ValidTime.After(at) {
+						at = f.ValidTime
+					}
+					mustAdd(b, st, f)
+					if err := cq.EvaluateFragment(f); err != nil {
+						b.Fatal(err)
+					}
+				}
+				b.StopTimer()
+				b.ReportMetric(float64(cq.BufferHWMBytes()), "buffered-bytes-hwm")
+				s := q.LastStats()
+				b.ReportMetric(float64(s.HandlerInvocations), "handlers/op")
+			})
+		}
 	}
 }

@@ -60,6 +60,7 @@ func main() {
 	verbose := flag.Bool("log", false, "emit structured debug logs for the whole pipeline to stderr")
 	parallel := flag.Int("parallel", 1, "worker count for parallel hole resolution (1 = sequential)")
 	cacheSize := flag.Int("cache", 0, "filler-resolution cache capacity in entries (0 = uncached)")
+	incremental := flag.Bool("incremental", false, "evaluate the continuous query incrementally: each arrival touches only the state reachable from its tag")
 	flag.Parse()
 
 	// an interrupt stops the embedded HTTP server gracefully instead of
@@ -133,6 +134,10 @@ func main() {
 		}
 	})
 	cq.SetLogger(logger)
+	if *incremental {
+		cq.WithIncremental(true)
+		fmt.Printf("incremental evaluation: %s\n", cq.IncrementalStrategy())
+	}
 	cq.RegisterMetrics(registry, "cq")
 	cq.Attach(client)
 
@@ -238,6 +243,10 @@ func main() {
 	}
 	fmt.Printf("watermark lag: %v, ingest->result latency: %s\n",
 		xcql.WatermarkLag(server, client), cq.Latency())
+	if *incremental {
+		fmt.Printf("incremental buffer: %d bytes standing, %d bytes high-water\n",
+			cq.BufferBytes(), cq.BufferHWMBytes())
+	}
 	fmt.Println("final metric exposition:")
 	_, _ = registry.WriteTo(os.Stdout)
 	if httpSrv != nil {

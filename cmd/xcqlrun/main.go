@@ -10,6 +10,11 @@
 // With -plan the translated query is printed instead of being run. With
 // -explain the query runs and the plan explanation — access paths plus
 // predicted vs observed cost counters — goes to stderr.
+//
+// With -incremental the fragment file is replayed one arrival at a time
+// through an incremental continuous query: each arrival prints its
+// delta, and the final standing result plus the per-fragment cost
+// counters follow at the end.
 package main
 
 import (
@@ -39,6 +44,7 @@ func main() {
 	showStats := flag.Bool("stats", false, "print the evaluation's cost counters to stderr")
 	parallel := flag.Int("parallel", 1, "worker count for parallel hole resolution (1 = sequential)")
 	cacheSize := flag.Int("cache", 0, "filler-resolution cache capacity in entries (0 = uncached)")
+	incremental := flag.Bool("incremental", false, "replay the fragment stream through an incremental continuous query, printing per-arrival deltas")
 	flag.Parse()
 
 	query, err := readQuery(*queryFile, flag.Args())
@@ -61,12 +67,20 @@ func main() {
 	engine := xcql.NewEngine()
 	engine.SetParallelism(*parallel)
 	engine.SetCache(*cacheSize)
+	var store *fragment.Store
+	var frags []*fragment.Fragment
 	if *structPath != "" {
-		structure, store, err := loadStream(*structPath, *fragPath)
+		var err error
+		_, store, frags, err = loadStream(*structPath, *fragPath)
 		if err != nil {
 			fatal(err)
 		}
-		_ = structure
+		if !*incremental {
+			// one-shot evaluation reads a fully ingested store
+			if err := store.AddAll(frags); err != nil {
+				fatal(err)
+			}
+		}
 		engine.RegisterStore(*streamName, store)
 	}
 	var sink *xcql.CollectorSink
@@ -80,6 +94,13 @@ func main() {
 	}
 	if *showPlan {
 		fmt.Println(q.Plan.String())
+		return
+	}
+	if *incremental {
+		if store == nil {
+			fatal(fmt.Errorf("-incremental needs -structure (and -fragments) to replay"))
+		}
+		runIncremental(q, store, frags, at, *atStr == "now", *showStats)
 		return
 	}
 	start := time.Now()
@@ -105,6 +126,47 @@ func main() {
 	}
 }
 
+// runIncremental replays the fragment stream one arrival at a time
+// through an incremental continuous query. The evaluation clock tracks
+// the running maximum validTime unless an explicit -at pins it.
+func runIncremental(q *xcql.Query, store *fragment.Store, frags []*fragment.Fragment,
+	at time.Time, trackClock bool, showStats bool) {
+	clock := at
+	var delta xcql.Sequence
+	cq := xcql.NewContinuousQuery(q, func(r xcql.Result) { delta = r.Delta })
+	cq.Clock = func() time.Time { return clock }
+	cq.WithIncremental(true)
+	fmt.Fprintf(os.Stderr, "incremental: %s\n", cq.IncrementalStrategy())
+	start := time.Now()
+	for i, f := range frags {
+		if err := store.Add(f); err != nil {
+			fatal(err)
+		}
+		if trackClock && f.ValidTime.After(clock) {
+			clock = f.ValidTime
+		}
+		delta = nil
+		if err := cq.EvaluateFragment(f); err != nil {
+			fatal(err)
+		}
+		if len(delta) > 0 {
+			fmt.Printf("-- arrival %d (filler %d): %d new item(s)\n%s\n",
+				i+1, f.FillerID, len(delta), xcql.FormatSequence(delta))
+		}
+	}
+	elapsed := time.Since(start)
+	snapshot := cq.ItemsSnapshot()
+	fmt.Printf("-- final standing result\n%s\n", xcql.FormatSequence(snapshot))
+	fmt.Fprintf(os.Stderr, "%d item(s) standing after %d arrival(s), %v\n",
+		len(snapshot), len(frags), elapsed)
+	if showStats {
+		stats := q.LastStats()
+		fmt.Fprintln(os.Stderr, stats.String())
+		fmt.Fprintf(os.Stderr, "buffer: %d bytes standing, %d bytes high-water\n",
+			cq.BufferBytes(), cq.BufferHWMBytes())
+	}
+}
+
 func readQuery(file string, args []string) (string, error) {
 	if file != "" {
 		b, err := os.ReadFile(file)
@@ -116,21 +178,26 @@ func readQuery(file string, args []string) (string, error) {
 	return "", fmt.Errorf("pass the query as the single argument or via -f")
 }
 
-func loadStream(structPath, fragPath string) (*tagstruct.Structure, *fragment.Store, error) {
+// loadStream parses the structure and fragment files, returning an EMPTY
+// store plus the fragment sequence in file order — the caller decides
+// whether to ingest everything up front (one-shot evaluation) or replay
+// arrivals one at a time (incremental).
+func loadStream(structPath, fragPath string) (*tagstruct.Structure, *fragment.Store, []*fragment.Fragment, error) {
 	sf, err := os.Open(structPath)
 	if err != nil {
-		return nil, nil, err
+		return nil, nil, nil, err
 	}
 	structure, err := tagstruct.Parse(sf)
 	sf.Close()
 	if err != nil {
-		return nil, nil, err
+		return nil, nil, nil, err
 	}
 	store := fragment.NewStore(structure)
+	var frags []*fragment.Fragment
 	if fragPath != "" {
 		ff, err := os.Open(fragPath)
 		if err != nil {
-			return nil, nil, err
+			return nil, nil, nil, err
 		}
 		defer ff.Close()
 		dec := xmldom.NewStreamDecoder(bufio.NewReaderSize(ff, 1<<20))
@@ -140,18 +207,16 @@ func loadStream(structPath, fragPath string) (*tagstruct.Structure, *fragment.St
 				break
 			}
 			if err != nil {
-				return nil, nil, err
+				return nil, nil, nil, err
 			}
 			f, err := fragment.FromXML(el)
 			if err != nil {
-				return nil, nil, err
+				return nil, nil, nil, err
 			}
-			if err := store.Add(f); err != nil {
-				return nil, nil, err
-			}
+			frags = append(frags, f)
 		}
 	}
-	return structure, store, nil
+	return structure, store, frags, nil
 }
 
 func fatal(err error) {

@@ -90,6 +90,26 @@ func (ins *Instance) NewStore() (*fragment.Store, error) {
 	return st, nil
 }
 
+// ReversedFragments returns the instance's fragments in reverse arrival
+// order — the adversarial input for arrival-order metamorphic tests.
+func (ins *Instance) ReversedFragments() []*fragment.Fragment {
+	out := make([]*fragment.Fragment, len(ins.Fragments))
+	for i, f := range ins.Fragments {
+		out[len(out)-1-i] = f
+	}
+	return out
+}
+
+// ShuffledFragments returns the instance's fragments in a seeded random
+// arrival order. The same seed always yields the same permutation.
+func (ins *Instance) ShuffledFragments(seed int64) []*fragment.Fragment {
+	out := make([]*fragment.Fragment, len(ins.Fragments))
+	copy(out, ins.Fragments)
+	rng := rand.New(rand.NewSource(seed))
+	rng.Shuffle(len(out), func(i, j int) { out[i], out[j] = out[j], out[i] })
+	return out
+}
+
 // gen carries the generation state for one instance.
 type gen struct {
 	rng        *rand.Rand

@@ -87,6 +87,19 @@ type EvalStats struct {
 	// count (0 or 1 = sequential).
 	ParallelTasks int64
 	Parallelism   int
+
+	// HandlerInvocations counts incremental per-tag handler runs: how many
+	// partial-match units one fragment arrival actually touched. Zero under
+	// full re-evaluation — the incremental mode's headline counter (cost
+	// proportional to affected output, not store size).
+	HandlerInvocations int64
+	// BufferedItems is the number of result items the incremental engine
+	// holds in its partial-match buffers after the evaluation.
+	BufferedItems int64
+	// BufferHWMBytes is the high-water mark of the incremental (or
+	// delta-state) buffer in serialized bytes — the memory bound the
+	// continuous query's state machine promises.
+	BufferHWMBytes int64
 	// ParallelWait is the distribution of queue wait — enqueue of a hole
 	// resolution to the moment a worker picks it up. High waits mean the
 	// pool is saturated (more holes than workers); near-zero waits with few
@@ -159,6 +172,33 @@ func (s *EvalStats) AddParallelTasks(n int) {
 	}
 }
 
+// AddHandlerInvocations records n incremental handler runs.
+func (s *EvalStats) AddHandlerInvocations(n int) {
+	if s != nil {
+		atomic.AddInt64(&s.HandlerInvocations, int64(n))
+	}
+}
+
+// AddBufferedItems records n items held in incremental buffers.
+func (s *EvalStats) AddBufferedItems(n int) {
+	if s != nil {
+		atomic.AddInt64(&s.BufferedItems, int64(n))
+	}
+}
+
+// MaxBufferHWMBytes raises the buffer high-water mark to n if larger.
+func (s *EvalStats) MaxBufferHWMBytes(n int64) {
+	if s == nil {
+		return
+	}
+	for {
+		cur := atomic.LoadInt64(&s.BufferHWMBytes)
+		if n <= cur || atomic.CompareAndSwapInt64(&s.BufferHWMBytes, cur, n) {
+			return
+		}
+	}
+}
+
 // String renders the counters on one line, for logs and CLI output.
 func (s *EvalStats) String() string {
 	if s == nil {
@@ -177,6 +217,10 @@ func (s *EvalStats) String() string {
 			s.Parallelism, s.ParallelTasks,
 			s.ParallelWait.Quantile(0.50).Round(time.Microsecond),
 			time.Duration(s.ParallelWait.Max).Round(time.Microsecond))
+	}
+	if s.HandlerInvocations > 0 || s.BufferedItems > 0 {
+		line += fmt.Sprintf(" handlers=%d buffered-items=%d buffer-hwm-bytes=%d",
+			s.HandlerInvocations, s.BufferedItems, s.BufferHWMBytes)
 	}
 	return line
 }

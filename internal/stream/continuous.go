@@ -9,6 +9,7 @@ import (
 
 	"xcql/internal/budget"
 	"xcql/internal/fragment"
+	"xcql/internal/inc"
 	"xcql/internal/obs"
 	"xcql/internal/xcql"
 	"xcql/internal/xmldom"
@@ -19,11 +20,15 @@ import (
 type Result struct {
 	// At is the evaluation instant (what "now" resolved to).
 	At time.Time
-	// Items is the full result sequence at that instant.
+	// Items is the full result sequence at that instant. Incremental
+	// evaluations leave it nil — per-arrival cost stays proportional to
+	// the delta, not the standing result; use ItemsSnapshot for the full
+	// standing result.
 	Items xq.Sequence
-	// Delta contains the items not seen in any earlier evaluation of this
-	// continuous query (compared by serialized form) — the newly produced
-	// part of the continuous output stream.
+	// Delta contains the items absent (by serialized form) from the
+	// previous evaluation's result — the newly produced part of the
+	// continuous output stream. After an Invalidate the whole current
+	// result re-emits here.
 	Delta xq.Sequence
 	// Degraded is non-empty when the query has been invalidated by lost
 	// fragments since the last ClearDegraded: the result may be missing
@@ -57,10 +62,29 @@ type ContinuousQuery struct {
 	// the time a freshly arrived filler takes to become query output.
 	latency *obs.Histogram
 
-	mu       sync.Mutex
+	mu sync.Mutex
+	// seen holds the serialized forms of the PREVIOUS evaluation's items
+	// (full mode): the delta of evaluation k is Items(k) \ Items(k-1).
+	// Scoping it to one generation bounds its size by the standing
+	// result's cardinality instead of growing with everything the query
+	// ever produced.
 	seen     map[string]bool
 	degraded string
 	evals    int64
+
+	// incremental mode: plan-decomposed delta evaluation (internal/inc)
+	// instead of full re-evaluation per arrival.
+	incremental bool
+	eng         *inc.Engine
+	// needReseed forces the next incremental evaluation through a full
+	// rebuild that re-emits everything — set by Invalidate/ResetDelta.
+	needReseed bool
+
+	// delta-state memory accounting: current serialized bytes buffered
+	// (full mode: the seen map; incremental: the partial-match buffers)
+	// and its high-water mark.
+	bufBytes int64
+	bufHWM   int64
 }
 
 // NewContinuousQuery wraps a compiled query. onResult is invoked after
@@ -91,6 +115,77 @@ func (cq *ContinuousQuery) Evaluations() int64 {
 // e.g. to Explain it or read its LastStats.
 func (cq *ContinuousQuery) Query() *xcql.Query { return cq.query }
 
+// WithIncremental switches the query between full re-evaluation per
+// arrival (the default) and incremental delta evaluation: the plan is
+// decomposed into per-tag handlers (internal/inc) and each arrival
+// recomputes only the partial-match state its tag can reach. Deltas and
+// the standing result (ItemsSnapshot) are byte-identical to full mode;
+// per-arrival Result.Items stays nil. Set it before attaching — toggling
+// mid-stream re-emits the standing result. Returns cq for chaining.
+func (cq *ContinuousQuery) WithIncremental(on bool) *ContinuousQuery {
+	cq.mu.Lock()
+	defer cq.mu.Unlock()
+	cq.incremental = on
+	if on && cq.eng == nil {
+		cq.eng = inc.New(cq.query)
+	}
+	if !on {
+		cq.eng = nil
+	}
+	return cq
+}
+
+// Incremental reports whether incremental evaluation is on.
+func (cq *ContinuousQuery) Incremental() bool {
+	cq.mu.Lock()
+	defer cq.mu.Unlock()
+	return cq.incremental
+}
+
+// IncrementalStrategy describes how the plan decomposed (see
+// inc.Engine.Strategy); empty when incremental mode is off.
+func (cq *ContinuousQuery) IncrementalStrategy() string {
+	cq.mu.Lock()
+	eng := cq.eng
+	cq.mu.Unlock()
+	if eng == nil {
+		return ""
+	}
+	return eng.Strategy()
+}
+
+// ItemsSnapshot returns the full standing result of the incremental
+// engine at the last applied instant (nil in full mode, where every
+// Result already carries Items). The items are shared with the engine's
+// buffers; callers must not mutate them.
+func (cq *ContinuousQuery) ItemsSnapshot() xq.Sequence {
+	cq.mu.Lock()
+	eng := cq.eng
+	cq.mu.Unlock()
+	if eng == nil {
+		return nil
+	}
+	return eng.ItemsSnapshot()
+}
+
+// BufferBytes is the current delta-state memory in serialized bytes: the
+// previous-result serial set in full mode, the partial-match buffers in
+// incremental mode.
+func (cq *ContinuousQuery) BufferBytes() int64 {
+	cq.mu.Lock()
+	defer cq.mu.Unlock()
+	return cq.bufBytes
+}
+
+// BufferHWMBytes is the high-water mark of BufferBytes over the query's
+// lifetime — the memory bound the delta state promises (it tracks the
+// standing result's cardinality, not the total output history).
+func (cq *ContinuousQuery) BufferHWMBytes() int64 {
+	cq.mu.Lock()
+	defer cq.mu.Unlock()
+	return cq.bufHWM
+}
+
 // Attach subscribes the query to a client: every applied fragment
 // triggers a re-evaluation. It returns an unsubscribe-free handle (the
 // paper's clients never unregister individual queries from servers; a
@@ -104,8 +199,8 @@ func (cq *ContinuousQuery) Attach(c *Client) {
 	c.OnGap(func(g Gap) {
 		cq.Invalidate(g.String())
 	})
-	c.OnFragment(func(*fragment.Fragment) {
-		_ = cq.Evaluate()
+	c.OnFragment(func(f *fragment.Fragment) {
+		_ = cq.EvaluateFragment(f)
 	})
 }
 
@@ -118,6 +213,8 @@ func (cq *ContinuousQuery) Invalidate(reason string) {
 	cq.mu.Lock()
 	cq.degraded = reason
 	cq.seen = make(map[string]bool)
+	cq.bufBytes = 0
+	cq.needReseed = true
 	cq.mu.Unlock()
 }
 
@@ -139,6 +236,21 @@ func (cq *ContinuousQuery) ClearDegraded() {
 // flowing and the consumer sees exactly why this evaluation produced
 // nothing. Other evaluation errors are returned as before.
 func (cq *ContinuousQuery) Evaluate() error {
+	return cq.EvaluateFragment(nil)
+}
+
+// EvaluateFragment runs one evaluation triggered by the given fragment
+// arrival (nil for a fragment-less re-evaluation, e.g. a clock advance).
+// Full mode ignores the fragment — it re-reads the whole store anyway;
+// incremental mode uses it to touch only the state reachable from the
+// fragment's tag. Attach feeds every applied fragment through here.
+func (cq *ContinuousQuery) EvaluateFragment(f *fragment.Fragment) error {
+	cq.mu.Lock()
+	incr := cq.incremental
+	cq.mu.Unlock()
+	if incr {
+		return cq.evaluateIncremental(f)
+	}
 	start := time.Now()
 	at := cq.Clock()
 	lim := cq.Limits
@@ -159,19 +271,86 @@ func (cq *ContinuousQuery) Evaluate() error {
 	}
 	res := Result{At: at, Items: seq}
 	cq.mu.Lock()
+	// generation-scoped delta state: this evaluation's serials replace
+	// the previous evaluation's wholesale, so memory is bounded by the
+	// standing result, not the output history
+	next := make(map[string]bool, len(seq))
+	var bytes int64
 	for _, it := range seq {
 		key := itemKey(it)
+		if next[key] {
+			continue
+		}
+		next[key] = true
+		bytes += int64(len(key))
 		if !cq.seen[key] {
-			cq.seen[key] = true
 			res.Delta = append(res.Delta, it)
 		}
 	}
+	cq.seen = next
+	cq.bufBytes = bytes
+	if bytes > cq.bufHWM {
+		cq.bufHWM = bytes
+	}
+	cq.needReseed = false
 	res.Degraded = cq.degraded
 	cq.mu.Unlock()
 	if cq.onResult != nil {
 		cq.onResult(res)
 	}
 	cq.finishEval(start, len(res.Items), len(res.Delta), res.Degraded)
+	return nil
+}
+
+// evaluateIncremental is the incremental arrival path: apply the
+// fragment to the engine's partial-match state (or rebuild it wholesale
+// after an Invalidate), emit the delta, and surface the engine's cost
+// counters as the query's LastStats.
+func (cq *ContinuousQuery) evaluateIncremental(f *fragment.Fragment) error {
+	start := time.Now()
+	at := cq.Clock()
+	lim := cq.Limits
+	if lim == (xcql.Limits{}) {
+		lim = cq.query.Limits
+	}
+	cq.mu.Lock()
+	eng := cq.eng
+	reseed := cq.needReseed
+	cq.needReseed = false
+	cq.mu.Unlock()
+	stats := &obs.EvalStats{Plan: cq.query.Mode.String() + "+inc"}
+	var delta xq.Sequence
+	var err error
+	if reseed {
+		// gap-triggered invalidation: one full rebuild that reseeds the
+		// incremental state and re-emits the entire standing result
+		delta, err = eng.Reseed(at, lim, stats)
+	} else {
+		delta, err = eng.Apply(f, at, lim, stats)
+	}
+	cq.query.RecordStats(stats)
+	if err != nil {
+		if reason, ok := governedFailure(err); ok {
+			cq.Invalidate(reason)
+			if cq.onResult != nil {
+				cq.onResult(Result{At: at, Degraded: reason})
+			}
+			cq.finishEval(start, 0, 0, reason)
+			return nil
+		}
+		return err
+	}
+	cq.mu.Lock()
+	cq.bufBytes = eng.BufferedBytes()
+	if hwm := eng.BufferHWMBytes(); hwm > cq.bufHWM {
+		cq.bufHWM = hwm
+	}
+	res := Result{At: at, Delta: delta, Degraded: cq.degraded}
+	cq.mu.Unlock()
+	if cq.onResult != nil {
+		cq.onResult(res)
+	}
+	cq.finishEval(start, int(stats.BufferedItems), len(res.Delta), res.Degraded)
 	return nil
 }
 
@@ -202,6 +381,8 @@ func (cq *ContinuousQuery) ResetDelta() {
 	cq.mu.Lock()
 	defer cq.mu.Unlock()
 	cq.seen = make(map[string]bool)
+	cq.bufBytes = 0
+	cq.needReseed = true
 }
 
 // governedFailure classifies an evaluation error as resource governance

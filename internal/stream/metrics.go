@@ -90,6 +90,8 @@ func (cq *ContinuousQuery) RegisterMetrics(r *obs.Registry, prefix string) {
 	}
 	cq.latency.Register(r, prefix+"_latency")
 	r.Gauge(prefix+"_evals", cq.Evaluations)
+	r.Gauge(prefix+"_buffer_bytes", cq.BufferBytes)
+	r.Gauge(prefix+"_buffer_hwm_bytes", cq.BufferHWMBytes)
 	r.Gauge(prefix+"_degraded", func() int64 {
 		cq.mu.Lock()
 		defer cq.mu.Unlock()

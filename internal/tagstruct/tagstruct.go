@@ -196,6 +196,28 @@ func (s *Structure) NamedUnder(base *Tag, name string) []*Tag {
 	return out
 }
 
+// FragmentedUnder returns every fragmented tag in the subtree rooted at
+// base (self excluded), in preorder. A query that mentions base can see
+// fillers stored under any of these ids — materializing base's subtree
+// recurses through each fragmented descendant — so this is the relevance
+// closure the incremental evaluator dirties per tag.
+func (s *Structure) FragmentedUnder(base *Tag) []*Tag {
+	var out []*Tag
+	var walk func(t *Tag)
+	walk = func(t *Tag) {
+		for _, c := range t.Children {
+			if c.IsFragmented() {
+				out = append(out, c)
+			}
+			walk(c)
+		}
+	}
+	if base != nil {
+		walk(base)
+	}
+	return out
+}
+
 // ResolvePath resolves a /-separated name path (no leading slash) from the
 // root, e.g. "creditAccounts/account/creditLimit". The first component
 // must be the root's name.

@@ -1,0 +1,108 @@
+package xcql
+
+import (
+	"context"
+	"fmt"
+	"runtime/debug"
+	"sync/atomic"
+	"time"
+
+	"xcql/internal/budget"
+	"xcql/internal/fragment"
+	"xcql/internal/obs"
+	"xcql/internal/xq"
+)
+
+// Exported spellings of the intrinsic plan functions, so plan inspectors
+// (EXPLAIN, the incremental compiler in internal/inc) can classify the
+// access paths of a translated Query.Plan without duplicating the names.
+const (
+	// FnView is the CaQ access path: materialize the whole temporal view.
+	FnView = fnView
+	// FnRoot fetches the root filler's payload versions (QaC).
+	FnRoot = fnRoot
+	// FnFillers crosses holes with one get_fillers pass per hole (QaC).
+	FnFillers = fnFillers
+	// FnFillersBatch crosses holes in one batched store pass (QaC+).
+	FnFillersBatch = fnFillersB
+	// FnByTSID jumps straight to every filler with a tsid (QaC+).
+	FnByTSID = fnByTSID
+	// FnIProj is the compiled interval projection e?[t1,t2].
+	FnIProj = fnIProj
+	// FnVProj is the compiled version projection e#[v1,v2].
+	FnVProj = fnVProj
+)
+
+// WalkPlan visits every node of a plan (or AST) expression in preorder —
+// the EXPLAIN walker, exported so other plan compilers (internal/inc)
+// reuse the same traversal instead of growing their own.
+func WalkPlan(e xq.Expr, fn func(xq.Expr)) { walkExpr(e, fn) }
+
+// PlanLitString extracts the string literal at args[i] of a plan call, or
+// "" — the EXPLAIN argument readers, exported alongside WalkPlan.
+func PlanLitString(args []xq.Expr, i int) string { return litString(args, i) }
+
+// PlanLitInt extracts the numeric literal at args[i] of a plan call, or 0.
+func PlanLitInt(args []xq.Expr, i int) int { return litInt(args, i) }
+
+// StreamStore returns the fragment store registered under name on this
+// query's runtime, or nil. The incremental evaluator uses it to read the
+// per-tag access paths (GetFillers / the tsid index) directly.
+func (q *Query) StreamStore(name string) *fragment.Store { return q.rt.Store(name) }
+
+// RecordStats publishes s as this query's LastStats. The incremental
+// evaluator assembles one EvalStats per fragment arrival out of many
+// sub-plan evaluations and records the merged profile here, so
+// Query.LastStats and EXPLAIN keep working in incremental mode.
+func (q *Query) RecordStats(s *obs.EvalStats) { q.storeStats(s) }
+
+// EvalSubPlan evaluates one sub-expression of this query's plan in a
+// fresh environment at the evaluation instant: its own budget built from
+// lim, sequential and uncached execution (the pinned baseline strategy,
+// byte-identical to every parallel/cached configuration — see
+// TestDiffHarness), counters accumulated into stats (nil collects
+// nothing). materialize runs the final hole-filling Materialize step on
+// the result, exactly as Query.Eval does.
+//
+// This is the incremental evaluator's workhorse: each partial-match unit
+// re-evaluates only its own slice of the plan through the same engine
+// code paths as a full evaluation, so unit outputs are byte-identical by
+// construction. EvalSubPlan performs no admission control — one fragment
+// arrival may evaluate many tiny units and each unit is already
+// step/byte/deadline-bounded by lim.
+func (q *Query) EvalSubPlan(e xq.Expr, at time.Time, lim Limits, stats *obs.EvalStats, materialize bool) (seq xq.Sequence, err error) {
+	b := budget.New(context.Background(), lim)
+	static := q.rt.newStatic(at, b, stats, 1, nil, nil)
+	defer func() {
+		if p := recover(); p != nil {
+			seq = nil
+			if re, ok := p.(*budget.ResourceError); ok {
+				err = &EvalError{Query: q.Source, Mode: q.Mode, Err: re}
+			} else {
+				err = &EvalError{
+					Query: q.Source,
+					Mode:  q.Mode,
+					Err:   fmt.Errorf("panic: %v", p),
+					Stack: debug.Stack(),
+				}
+			}
+		}
+	}()
+	seq, err = xq.Eval(e, xq.NewContext(static))
+	if err != nil {
+		return nil, q.wrapResource(err)
+	}
+	if materialize {
+		seq = q.rt.materializeResult(seq, static)
+	}
+	if stats != nil {
+		// Query.eval copies the budget's totals into the stats at the
+		// end; sub-plan evaluations instead accumulate, so one arrival's
+		// stats sum its unit evaluations.
+		steps, items, bytes := b.Used()
+		atomic.AddInt64(&stats.Steps, steps)
+		atomic.AddInt64(&stats.Items, items)
+		atomic.AddInt64(&stats.BytesMaterialized, bytes)
+	}
+	return seq, nil
+}
