@@ -2,9 +2,9 @@
 GO       ?= go
 FUZZTIME ?= 10s
 
-.PHONY: check vet static build test race race-stream test-diffharness test-diffharness-incremental fuzz-smoke bench bench-json bench-diff bench-diff-smoke
+.PHONY: check vet static build test race race-stream test-recovery test-diffharness test-diffharness-incremental fuzz-smoke bench bench-json bench-diff bench-diff-smoke
 
-check: vet static build race race-stream test-diffharness test-diffharness-incremental bench-diff-smoke fuzz-smoke
+check: vet static build race race-stream test-recovery test-diffharness test-diffharness-incremental bench-diff-smoke fuzz-smoke
 
 vet:
 	$(GO) vet ./...
@@ -34,6 +34,13 @@ race:
 race-stream:
 	$(GO) test -race -count=2 -timeout 120s ./internal/stream ./internal/obs ./internal/temporal ./internal/fragment
 
+# The crash-point harness: enumerate every filesystem operation in an
+# ingest/snapshot/compact run, kill the store at each one, and prove
+# recovery yields exactly the committed prefix (never losing an
+# acknowledged append), under the race detector.
+test-recovery:
+	$(GO) test -race -run '^(TestCrashPointHarness|TestCrashPointHarnessReplaysTwice)$$' -timeout 300s ./internal/segstore
+
 # The metamorphic differential harness: >=200 generated store/query
 # pairs, every plan x parallelism x cache combination, byte-identical
 # results, under the race detector.
@@ -54,6 +61,7 @@ fuzz-smoke:
 	$(GO) test ./internal/fragment -run '^$$' -fuzz '^FuzzWireDecode$$' -fuzztime $(FUZZTIME)
 	$(GO) test ./internal/stream -run '^$$' -fuzz '^FuzzReadFrame$$' -fuzztime $(FUZZTIME)
 	$(GO) test ./internal/stream -run '^$$' -fuzz '^FuzzFrameRoundTrip$$' -fuzztime $(FUZZTIME)
+	$(GO) test ./internal/segstore -run '^$$' -fuzz '^FuzzSegmentReplay$$' -fuzztime $(FUZZTIME)
 	$(GO) test ./internal/xcql -run '^$$' -fuzz '^FuzzCompile$$' -fuzztime $(FUZZTIME)
 	$(GO) test . -run '^$$' -fuzz '^FuzzIncrementalArrival$$' -fuzztime $(FUZZTIME)
 
@@ -64,9 +72,9 @@ bench:
 # benchmarks (quick scales) as JSON — cost counters and latency quantiles
 # included — the cross-PR performance trajectory. Compare two snapshots
 # with bench-diff.
-BENCHOUT ?= BENCH_pr6.json
+BENCHOUT ?= BENCH_pr7.json
 bench-json:
-	( $(GO) test -run '^$$' -bench '^(BenchmarkFigure4|BenchmarkSelectivity|BenchmarkContinuous|BenchmarkParallelCache)$$' -benchmem -short . ; \
+	( $(GO) test -run '^$$' -bench '^(BenchmarkFigure4|BenchmarkSelectivity|BenchmarkContinuous|BenchmarkParallelCache|BenchmarkRecovery|BenchmarkSnapshotBootstrap)$$' -benchmem -short . ; \
 	  $(GO) test -run '^$$' -bench '^BenchmarkIncrementalContinuous$$' -benchtime 300x -benchmem -short . ) \
 		| $(GO) run ./cmd/benchjson > $(BENCHOUT)
 

@@ -12,6 +12,12 @@
 //	                          # (health + EXPLAIN) and /debug/pprof while
 //	                          # the demo runs; an interrupt shuts the HTTP
 //	                          # server down gracefully
+//	streamdemo -store-dir d   # durable server: fragments write through to
+//	                          # a checksummed segment log in d, the server
+//	                          # recovers from it on restart (sequence
+//	                          # numbers continue), and clients that fall
+//	                          # past the in-memory replay window bootstrap
+//	                          # from the log instead of losing data
 //	streamdemo -log           # structured debug logs for the pipeline
 //
 // In -chaos mode the transport deliberately misbehaves under a seeded
@@ -61,6 +67,8 @@ func main() {
 	parallel := flag.Int("parallel", 1, "worker count for parallel hole resolution (1 = sequential)")
 	cacheSize := flag.Int("cache", 0, "filler-resolution cache capacity in entries (0 = uncached)")
 	incremental := flag.Bool("incremental", false, "evaluate the continuous query incrementally: each arrival touches only the state reachable from its tag")
+	storeDir := flag.String("store-dir", "", "durable segment store directory: publishes write through to it, the server recovers from it on restart, and reconnecting clients bootstrap from it past the replay window")
+	historyLimit := flag.Int("history", 0, "bound the server's in-memory replay window to this many fragments (0 = unbounded); with -store-dir older positions stay servable from the log")
 	flag.Parse()
 
 	// an interrupt stops the embedded HTTP server gracefully instead of
@@ -74,9 +82,33 @@ func main() {
 	}
 
 	structure := xcql.MustParseTagStructure(structureXML)
-	server := xcql.NewServer("credit", structure)
-	server.SetLogger(logger)
 	registry := xcql.NewRegistry()
+	var server *xcql.Server
+	var seg *xcql.SegStore
+	if *storeDir != "" {
+		opened, rep, err := xcql.OpenSegStore(*storeDir, xcql.SegStoreOptions{SnapshotEvery: 256})
+		if err != nil {
+			log.Fatal(err)
+		}
+		seg = opened
+		defer seg.Close()
+		fmt.Println("segment store:", rep)
+		server, err = xcql.RecoverServer("credit", structure, seg)
+		if err != nil {
+			log.Fatal(err)
+		}
+		seg.RegisterMetrics(registry, "segstore")
+		if got := server.LatestSeq(); got > 0 {
+			fmt.Printf("recovered %d fragments from %s; sequence resumes after %d\n",
+				len(server.History()), *storeDir, got)
+		}
+	} else {
+		server = xcql.NewServer("credit", structure)
+	}
+	if *historyLimit > 0 {
+		server.SetHistoryLimit(*historyLimit)
+	}
+	server.SetLogger(logger)
 	server.RegisterMetrics(registry, "server")
 
 	ln, err := net.Listen("tcp", "127.0.0.1:0")
@@ -229,10 +261,22 @@ func main() {
 		xcql.FormatSequence(res), client.Store().Len())
 
 	srv, cli := server.Stats(), client.Stats()
-	fmt.Printf("server: published=%d broker-drops=%d retained=%d latest-seq=%d\n",
-		srv.Published, srv.Dropped, srv.Retained, srv.LatestSeq)
+	fmt.Printf("server: published=%d broker-drops=%d retained=%d latest-seq=%d resume-floor=%d bootstraps=%d\n",
+		srv.Published, srv.Dropped, srv.Retained, srv.LatestSeq, srv.ResumeFloor, srv.Bootstraps)
 	fmt.Printf("client: received=%d duplicates=%d replayed=%d gaps=%d missing=%d lost=%d reconnects=%d last-seq=%d\n",
 		cli.Received, cli.Duplicates, cli.Replayed, cli.Gaps, cli.Missing, cli.Lost, cli.Reconnects, cli.LastSeq)
+	if cli.Reconnects > 0 {
+		fmt.Printf("reconnect outcomes: replay=%d snapshot-bootstrap=%d degraded=%d\n",
+			cli.ReconnectReplay, cli.ReconnectSnapshot, cli.ReconnectDegraded)
+	}
+	if seg != nil {
+		ss := seg.Stats()
+		fmt.Printf("segment store: segments=%d bytes=%d frames=%d appends=%d fsyncs=%d snapshots=%d gen=%d\n",
+			ss.Segments, ss.SegmentBytes, ss.Frames, ss.Appends, ss.Fsyncs, ss.Snapshots, ss.SnapshotGen)
+		if srv.StorageErrors > 0 {
+			fmt.Printf("segment store DEGRADED: %d storage errors during write-through\n", srv.StorageErrors)
+		}
+	}
 	if injector != nil {
 		fmt.Println("injected:", injector)
 	}

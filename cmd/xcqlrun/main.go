@@ -15,6 +15,12 @@
 // through an incremental continuous query: each arrival prints its
 // delta, and the final standing result plus the per-fragment cost
 // counters follow at the end.
+//
+// With -store-dir the store is durable: fragments recovered from the
+// directory's segment log are ingested first (exact duplicates from a
+// previous run of the same file are coalesced away), and every fragment
+// ingested this run is appended to the log before it becomes queryable,
+// so a crash mid-ingest loses nothing that was acknowledged.
 package main
 
 import (
@@ -45,6 +51,7 @@ func main() {
 	parallel := flag.Int("parallel", 1, "worker count for parallel hole resolution (1 = sequential)")
 	cacheSize := flag.Int("cache", 0, "filler-resolution cache capacity in entries (0 = uncached)")
 	incremental := flag.Bool("incremental", false, "replay the fragment stream through an incremental continuous query, printing per-arrival deltas")
+	storeDir := flag.String("store-dir", "", "durable segment store directory: recovered fragments are ingested before the -fragments file and this run's ingest is write-ahead logged")
 	flag.Parse()
 
 	query, err := readQuery(*queryFile, flag.Args())
@@ -75,13 +82,28 @@ func main() {
 		if err != nil {
 			fatal(err)
 		}
+		if *storeDir != "" {
+			seg, err := attachSegStore(store, *storeDir)
+			if err != nil {
+				fatal(err)
+			}
+			defer seg.Close()
+		}
 		if !*incremental {
 			// one-shot evaluation reads a fully ingested store
 			if err := store.AddAll(frags); err != nil {
 				fatal(err)
 			}
+			// re-running over the same durable log re-ingests fragments
+			// that were both recovered and in the file; exact duplicates
+			// are semantics-preserving and coalesce away
+			if removed := store.Coalesce(); removed > 0 {
+				fmt.Fprintf(os.Stderr, "coalesced %d duplicate version(s) after recovery\n", removed)
+			}
 		}
 		engine.RegisterStore(*streamName, store)
+	} else if *storeDir != "" {
+		fatal(fmt.Errorf("-store-dir needs -structure to build the recovered store"))
 	}
 	var sink *xcql.CollectorSink
 	if *showTrace {
@@ -165,6 +187,40 @@ func runIncremental(q *xcql.Query, store *fragment.Store, frags []*fragment.Frag
 		fmt.Fprintf(os.Stderr, "buffer: %d bytes standing, %d bytes high-water\n",
 			cq.BufferBytes(), cq.BufferHWMBytes())
 	}
+}
+
+// attachSegStore wires a durable segment log under the in-memory store:
+// recovery first (the recovered fragments are ingested and the cache
+// generation advanced, so nothing stale survives), then write-ahead — a
+// hook appends every subsequently ingested fragment to the log, stamped
+// with the next durable sequence number, before it becomes queryable.
+func attachSegStore(store *fragment.Store, dir string) (*xcql.SegStore, error) {
+	seg, rep, err := xcql.OpenSegStore(dir, xcql.SegStoreOptions{SnapshotEvery: 1024})
+	if err != nil {
+		return nil, err
+	}
+	fmt.Fprintln(os.Stderr, "segment store:", rep)
+	recovered, err := seg.All()
+	if err != nil {
+		seg.Close()
+		return nil, err
+	}
+	// recovered fragments are already durable: ingest them before the
+	// write-ahead hook is installed so they are not re-appended
+	if err := store.AddAll(recovered); err != nil {
+		seg.Close()
+		return nil, err
+	}
+	store.AdvanceGeneration()
+	_, seq := seg.SeqBounds()
+	store.SetWAL(func(f *fragment.Fragment) error {
+		seq++
+		return seg.Append(f.WithSeq(seq))
+	})
+	if len(recovered) > 0 {
+		fmt.Fprintf(os.Stderr, "recovered %d fragment(s) into the store\n", len(recovered))
+	}
+	return seg, nil
 }
 
 func readQuery(file string, args []string) (string, error) {

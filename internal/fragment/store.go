@@ -39,6 +39,11 @@ type Store struct {
 	// frames the stream client drops never reach Add, so they advance
 	// nothing and cannot re-validate (or resurrect) cache entries.
 	gen atomic.Uint64
+
+	// wal, when set, receives every fragment after validation and before
+	// it becomes queryable — the write-ahead rule: an error keeps the
+	// fragment out of memory entirely and fails the Add.
+	wal func(*Fragment) error
 }
 
 // NewStore returns an empty indexed store for the given tag structure.
@@ -87,6 +92,14 @@ func (st *Store) Add(f *Fragment) error {
 	}
 	st.mu.Lock()
 	defer st.mu.Unlock()
+	if st.wal != nil {
+		// write-ahead: the fragment is durable before it is queryable. The
+		// append runs under the store lock so the log's order is exactly
+		// the ingest order every reader observed.
+		if err := st.wal(f); err != nil {
+			return fmt.Errorf("fragment: wal append for filler %d: %w", f.FillerID, err)
+		}
+	}
 	st.log = append(st.log, f)
 	if st.scan {
 		st.wire = append(st.wire, f.ToXML())
@@ -112,6 +125,22 @@ func (st *Store) Add(f *Fragment) error {
 // compare it to decide whether a memoized resolution still reflects the
 // store's contents.
 func (st *Store) Generation() uint64 { return st.gen.Load() }
+
+// SetWAL installs (or clears, with nil) the store's write-ahead hook.
+// It must be set before ingestion starts; fragments already in memory
+// are not retroactively logged. The hook is called under the store's
+// write lock, so it must not call back into the store.
+func (st *Store) SetWAL(wal func(*Fragment) error) {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	st.wal = wal
+}
+
+// AdvanceGeneration bumps the ingest generation without adding a
+// fragment. Recovery paths call it after rebuilding a store from a
+// durable log so that cache entries memoized against the pre-crash
+// store object can never be served against the recovered contents.
+func (st *Store) AdvanceGeneration() { st.gen.Add(1) }
 
 // AddAll ingests fragments in order, stopping at the first error.
 func (st *Store) AddAll(fs []*Fragment) error {

@@ -1,0 +1,253 @@
+package segstore
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"os"
+	"sync"
+)
+
+// FaultPlan configures deterministic filesystem chaos, mirroring the
+// stream package's FaultTransport: what fraction of writes to cut short,
+// what fraction of fsyncs to fail, what fraction of written buffers to
+// bit-flip (silent media corruption), and a hard crash point. All
+// randomness comes from one seeded RNG, so a (plan, workload) pair
+// replays the same fault schedule every time.
+type FaultPlan struct {
+	Seed int64
+	// ShortWriteProb makes a Write persist only a prefix of the buffer
+	// and return an error — the torn frame a full disk or a killed
+	// process leaves behind.
+	ShortWriteProb float64
+	// SyncErrProb makes Sync/SyncDir return an error (the data may still
+	// have reached the disk; the caller must treat it as unacknowledged).
+	SyncErrProb float64
+	// BitFlipProb flips one random bit in a written buffer and lets the
+	// write succeed — silent corruption that only the frame CRC catches.
+	BitFlipProb float64
+	// CrashAtOp, when > 0, turns the CrashAtOp-th mutating operation
+	// (1-based: writes, syncs, creates, renames, removes, truncates)
+	// into a process death: the operation is at most partially applied
+	// (a Write persists half its buffer) and every subsequent operation
+	// fails with ErrCrashed. Enumerate crash points by running the
+	// workload once with CrashAtOp == 0 and reading Ops().
+	CrashAtOp int64
+}
+
+// ErrCrashed is returned by every FaultFS operation at and after the
+// injected crash point: the simulated process is dead.
+var ErrCrashed = errors.New("segstore: injected crash")
+
+// errInjected marks non-fatal injected failures (short write, fsync).
+var errInjected = errors.New("segstore: injected fault")
+
+// FaultFSStats counts the injected faults.
+type FaultFSStats struct {
+	Ops         int64 // mutating operations offered to the injector
+	ShortWrites int64
+	SyncErrs    int64
+	BitFlips    int64
+	Crashed     bool
+}
+
+// FaultFS wraps an FS with the plan's faults. It is safe for concurrent
+// use; the operation counter is global across all files, which keeps a
+// single-writer workload fully deterministic.
+type FaultFS struct {
+	base FS
+	plan FaultPlan
+
+	mu    sync.Mutex
+	rng   *rand.Rand
+	stats FaultFSStats
+}
+
+// NewFaultFS wraps base (nil means the real filesystem) with the plan.
+func NewFaultFS(base FS, plan FaultPlan) *FaultFS {
+	if base == nil {
+		base = OSFS{}
+	}
+	return &FaultFS{base: base, plan: plan, rng: rand.New(rand.NewSource(plan.Seed))}
+}
+
+// Stats returns a snapshot of the injected faults.
+func (f *FaultFS) Stats() FaultFSStats {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.stats
+}
+
+// Ops returns how many mutating operations the workload performed —
+// the crash-point enumeration space.
+func (f *FaultFS) Ops() int64 {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.stats.Ops
+}
+
+// decision is one mutating operation's fate.
+type decision struct {
+	crash     bool // process dies here: op at most partially applied
+	shortN    int  // >= 0: persist only this many bytes of the buffer, fail
+	syncErr   bool
+	flipByte  int // >= 0: flip flipBit in this byte of the buffer
+	flipBit   uint
+	hasShort  bool
+	hasFlip   bool
+	postCrash bool // already dead
+}
+
+// decide draws one operation's fate. kind: 'w' write, 's' sync, 'm' other
+// mutation (create/rename/remove/truncate). bufLen is the write size.
+func (f *FaultFS) decide(kind byte, bufLen int) decision {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if f.stats.Crashed {
+		return decision{postCrash: true}
+	}
+	f.stats.Ops++
+	var d decision
+	if f.plan.CrashAtOp > 0 && f.stats.Ops == f.plan.CrashAtOp {
+		f.stats.Crashed = true
+		d.crash = true
+		if kind == 'w' {
+			d.shortN = bufLen / 2
+			d.hasShort = true
+		}
+		return d
+	}
+	switch kind {
+	case 'w':
+		if f.plan.ShortWriteProb > 0 && f.rng.Float64() < f.plan.ShortWriteProb {
+			f.stats.ShortWrites++
+			d.shortN = f.rng.Intn(bufLen + 1)
+			d.hasShort = true
+		}
+		if !d.hasShort && f.plan.BitFlipProb > 0 && bufLen > 0 && f.rng.Float64() < f.plan.BitFlipProb {
+			f.stats.BitFlips++
+			d.flipByte = f.rng.Intn(bufLen)
+			d.flipBit = uint(f.rng.Intn(8))
+			d.hasFlip = true
+		}
+	case 's':
+		if f.plan.SyncErrProb > 0 && f.rng.Float64() < f.plan.SyncErrProb {
+			f.stats.SyncErrs++
+			d.syncErr = true
+		}
+	}
+	return d
+}
+
+func (f *FaultFS) OpenFile(name string, flag int, perm os.FileMode) (File, error) {
+	if flag&os.O_CREATE != 0 {
+		d := f.decide('m', 0)
+		if d.postCrash || d.crash {
+			return nil, ErrCrashed
+		}
+	} else if f.dead() {
+		return nil, ErrCrashed
+	}
+	file, err := f.base.OpenFile(name, flag, perm)
+	if err != nil {
+		return nil, err
+	}
+	return &faultFile{fs: f, file: file}, nil
+}
+
+func (f *FaultFS) dead() bool {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.stats.Crashed
+}
+
+func (f *FaultFS) ReadDir(name string) ([]os.DirEntry, error) {
+	if f.dead() {
+		return nil, ErrCrashed
+	}
+	return f.base.ReadDir(name)
+}
+
+func (f *FaultFS) mutate(name string, op func() error) error {
+	d := f.decide('m', 0)
+	if d.postCrash || d.crash {
+		return fmt.Errorf("%s: %w", name, ErrCrashed)
+	}
+	return op()
+}
+
+func (f *FaultFS) Rename(oldname, newname string) error {
+	return f.mutate("rename", func() error { return f.base.Rename(oldname, newname) })
+}
+
+func (f *FaultFS) Remove(name string) error {
+	return f.mutate("remove", func() error { return f.base.Remove(name) })
+}
+
+func (f *FaultFS) MkdirAll(name string, perm os.FileMode) error {
+	return f.mutate("mkdir", func() error { return f.base.MkdirAll(name, perm) })
+}
+
+func (f *FaultFS) Truncate(name string, size int64) error {
+	return f.mutate("truncate", func() error { return f.base.Truncate(name, size) })
+}
+
+func (f *FaultFS) SyncDir(name string) error {
+	d := f.decide('s', 0)
+	switch {
+	case d.postCrash, d.crash:
+		return ErrCrashed
+	case d.syncErr:
+		return fmt.Errorf("syncdir %s: %w", name, errInjected)
+	}
+	return f.base.SyncDir(name)
+}
+
+// faultFile interposes on writes and syncs of one open file.
+type faultFile struct {
+	fs   *FaultFS
+	file File
+}
+
+func (ff *faultFile) Read(p []byte) (int, error) {
+	if ff.fs.dead() {
+		return 0, ErrCrashed
+	}
+	return ff.file.Read(p)
+}
+
+func (ff *faultFile) Write(p []byte) (int, error) {
+	d := ff.fs.decide('w', len(p))
+	switch {
+	case d.postCrash:
+		return 0, ErrCrashed
+	case d.crash:
+		// the dying process got half the buffer onto disk
+		n, _ := ff.file.Write(p[:d.shortN])
+		return n, ErrCrashed
+	case d.hasShort:
+		n, _ := ff.file.Write(p[:d.shortN])
+		return n, fmt.Errorf("short write (%d of %d bytes): %w", n, len(p), errInjected)
+	case d.hasFlip:
+		corrupted := append([]byte(nil), p...)
+		corrupted[d.flipByte] ^= 1 << d.flipBit
+		return ff.file.Write(corrupted)
+	}
+	return ff.file.Write(p)
+}
+
+func (ff *faultFile) Sync() error {
+	d := ff.fs.decide('s', 0)
+	switch {
+	case d.postCrash, d.crash:
+		return ErrCrashed
+	case d.syncErr:
+		return fmt.Errorf("fsync: %w", errInjected)
+	}
+	return ff.file.Sync()
+}
+
+func (ff *faultFile) Close() error {
+	// closing is allowed after a crash: the harness tears down handles
+	return ff.file.Close()
+}

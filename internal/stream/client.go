@@ -58,6 +58,16 @@ type ClientStats struct {
 	// Reconnects counts successful re-registrations after a transport
 	// failure.
 	Reconnects int64
+	// The reconnect_outcome family classifies every successful
+	// re-registration by how the resume position was served:
+	// ReconnectReplay — the in-memory replay window covered it;
+	// ReconnectSnapshot — the window had slid past it but the server
+	// bridged the gap from its durable log (snapshot + delta bootstrap);
+	// ReconnectDegraded — neither could, and the loss was written off as
+	// an unrecoverable gap.
+	ReconnectReplay   int64
+	ReconnectSnapshot int64
+	ReconnectDegraded int64
 	// LastSeq is the highest sequence number seen.
 	LastSeq uint64
 	// Lag is the distance between the server's latest advertised
@@ -105,6 +115,10 @@ type Client struct {
 	duplicates int64
 	replayed   int64
 	reconnects int64
+	// reconnect_outcome family (see ClientStats)
+	reconnectReplay   int64
+	reconnectSnapshot int64
+	reconnectDegraded int64
 	gaps       []Gap
 	degraded   string // sticky reason for permanent loss
 }
@@ -349,6 +363,38 @@ func (c *Client) noteReconnect() {
 	}
 }
 
+// Reconnect outcomes (the reconnect_outcome counter family).
+const (
+	outcomeReplay   = "replay"
+	outcomeSnapshot = "snapshot_bootstrap"
+	outcomeDegraded = "degraded"
+)
+
+// noteReconnectOutcome classifies a successful re-registration: served
+// from the in-memory replay window, bridged from the server's durable
+// log, or degraded by an unrecoverable gap.
+func (c *Client) noteReconnectOutcome(outcome string) {
+	c.mu.Lock()
+	switch outcome {
+	case outcomeReplay:
+		c.reconnectReplay++
+	case outcomeSnapshot:
+		c.reconnectSnapshot++
+	case outcomeDegraded:
+		c.reconnectDegraded++
+	}
+	c.mu.Unlock()
+	if l := c.log(); l != nil {
+		level := slog.LevelInfo
+		if outcome == outcomeDegraded {
+			level = slog.LevelWarn
+		}
+		l.LogAttrs(logCtx, level, "reconnect outcome",
+			slog.String("component", "client"), slog.String("stream", c.name),
+			slog.String("outcome", outcome))
+	}
+}
+
 // noteLatest records the server's latest sequence number as advertised in
 // a registration handshake; it feeds the Lag estimate and the
 // end-of-stream heal check.
@@ -403,14 +449,17 @@ func (c *Client) Stats() ClientStats {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	st := ClientStats{
-		Received:   c.received,
-		Duplicates: c.duplicates,
-		Replayed:   c.replayed,
-		Gaps:       len(c.gaps),
-		Missing:    len(c.missing),
-		Lost:       c.lost,
-		Reconnects: c.reconnects,
-		LastSeq:    c.lastSeq,
+		Received:          c.received,
+		Duplicates:        c.duplicates,
+		Replayed:          c.replayed,
+		Gaps:              len(c.gaps),
+		Missing:           len(c.missing),
+		Lost:              c.lost,
+		Reconnects:        c.reconnects,
+		ReconnectReplay:   c.reconnectReplay,
+		ReconnectSnapshot: c.reconnectSnapshot,
+		ReconnectDegraded: c.reconnectDegraded,
+		LastSeq:           c.lastSeq,
 	}
 	if c.latestSeen > c.lastSeq {
 		st.Lag = c.latestSeen - c.lastSeq

@@ -23,6 +23,9 @@ func (s *Server) RegisterMetrics(r *obs.Registry, prefix string) {
 	r.Gauge(prefix+"_retained", snap(func(st ServerStats) int64 { return int64(st.Retained) }))
 	r.Gauge(prefix+"_oldest_retained", snap(func(st ServerStats) int64 { return int64(st.OldestRetained) }))
 	r.Gauge(prefix+"_latest_seq", snap(func(st ServerStats) int64 { return int64(st.LatestSeq) }))
+	r.Gauge(prefix+"_resume_floor", snap(func(st ServerStats) int64 { return int64(st.ResumeFloor) }))
+	r.Gauge(prefix+"_bootstraps", snap(func(st ServerStats) int64 { return st.Bootstraps }))
+	r.Gauge(prefix+"_storage_errors", snap(func(st ServerStats) int64 { return st.StorageErrors }))
 	r.Gauge(prefix+"_watermark_ns", func() int64 {
 		return unixNanoOrZero(s.Health().WatermarkValidTime)
 	})
@@ -48,6 +51,9 @@ func (c *Client) RegisterMetrics(r *obs.Registry, prefix string) {
 	r.Gauge(prefix+"_missing", snap(func(st ClientStats) int64 { return int64(st.Missing) }))
 	r.Gauge(prefix+"_lost", snap(func(st ClientStats) int64 { return int64(st.Lost) }))
 	r.Gauge(prefix+"_reconnects", snap(func(st ClientStats) int64 { return st.Reconnects }))
+	r.Gauge(prefix+"_reconnect_outcome_replay", snap(func(st ClientStats) int64 { return st.ReconnectReplay }))
+	r.Gauge(prefix+"_reconnect_outcome_snapshot_bootstrap", snap(func(st ClientStats) int64 { return st.ReconnectSnapshot }))
+	r.Gauge(prefix+"_reconnect_outcome_degraded", snap(func(st ClientStats) int64 { return st.ReconnectDegraded }))
 	r.Gauge(prefix+"_last_seq", snap(func(st ClientStats) int64 { return int64(st.LastSeq) }))
 	r.Gauge(prefix+"_lag", snap(func(st ClientStats) int64 { return int64(st.Lag) }))
 	r.Gauge(prefix+"_degraded", snap(func(st ClientStats) int64 {

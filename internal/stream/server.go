@@ -46,6 +46,13 @@ type Server struct {
 	watermark    time.Time            // max validTime ever published (monotone)
 	dropped      int64
 	closed       bool
+
+	// durable bootstrap (see durable.go): a write-through log that serves
+	// resume positions older than the in-memory window
+	durable       DurableLog
+	durableBroken string // first write-through error; sticky
+	bootstraps    int64  // subscriptions bridged from the durable log
+	storageErrors int64  // durable write/read failures
 }
 
 // NewServer creates a server for the named stream.
@@ -157,18 +164,14 @@ func (s *Server) Subscribe(buffer int, catchUp bool) *Subscription {
 // seq > afterSeq is replayed into the subscription before any live
 // fragment. afterSeq = 0 replays the whole retained window (a fresh
 // catch-up join). If the replay window has already slid past afterSeq
-// the replay starts at the oldest retained fragment; the client's gap
-// detection surfaces the missing middle.
+// but an attached durable log still covers the gap, the missing prefix
+// is bridged from the log (snapshot bootstrap); otherwise the replay
+// starts at the oldest retained fragment and the client's gap detection
+// surfaces the missing middle.
 func (s *Server) SubscribeFrom(buffer int, afterSeq uint64) *Subscription {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	var replay []*fragment.Fragment
-	for _, f := range s.history {
-		if f.Seq > afterSeq {
-			replay = append(replay, f)
-		}
-	}
-	return s.subscribeLocked(buffer, replay)
+	return s.subscribeLocked(buffer, s.replayLocked(afterSeq))
 }
 
 func (s *Server) subscribe(buffer int, replay []*fragment.Fragment) *Subscription {
@@ -212,6 +215,7 @@ func (s *Server) Publish(f *fragment.Fragment) {
 	if stamped.ValidTime.After(s.watermark) {
 		s.watermark = stamped.ValidTime
 	}
+	s.appendDurableLocked(stamped)
 	s.history = append(s.history, stamped)
 	s.trimHistoryLocked()
 	drops := 0
@@ -299,6 +303,16 @@ type ServerStats struct {
 	Retained       int
 	OldestRetained uint64
 	LatestSeq      uint64
+	// ResumeFloor is the lowest resume position the server can serve
+	// losslessly — OldestRetained-1 from the in-memory window alone,
+	// lower when a durable log bridges further back (see ResumeFloor).
+	ResumeFloor uint64
+	// Bootstraps counts subscriptions whose replay was bridged from the
+	// durable log because the in-memory window had slid past them.
+	Bootstraps int64
+	// StorageErrors counts durable log failures (write-through and
+	// bridge reads). The first write failure marks the log broken.
+	StorageErrors int64
 }
 
 // Stats returns a snapshot of the server's counters.
@@ -306,11 +320,14 @@ func (s *Server) Stats() ServerStats {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	st := ServerStats{
-		Published:   s.nextSeq,
-		Dropped:     s.dropped,
-		Subscribers: len(s.subs),
-		Retained:    len(s.history),
-		LatestSeq:   s.nextSeq,
+		Published:     s.nextSeq,
+		Dropped:       s.dropped,
+		Subscribers:   len(s.subs),
+		Retained:      len(s.history),
+		LatestSeq:     s.nextSeq,
+		ResumeFloor:   s.resumeFloorLocked(),
+		Bootstraps:    s.bootstraps,
+		StorageErrors: s.storageErrors,
 	}
 	if len(s.history) > 0 {
 		st.OldestRetained = s.history[0].Seq

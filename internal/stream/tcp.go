@@ -34,8 +34,14 @@ import (
 // fragment with seq > N. oldest/latest advertise the server's replay
 // window so a resuming client can tell immediately when its position has
 // slid out of the window — an unrecoverable gap it must surface rather
-// than hide. This handshake is the paper's single pull-based
-// registration; the client still never writes during normal flow.
+// than hide. A server backed by a durable segment store also advertises
+// floor="F", the lowest resume position it can serve losslessly: when
+// F <= N the server bridges any pre-window gap from the log (snapshot +
+// delta bootstrap) and the client must not write the range off. Servers
+// without the attribute keep the in-memory-window-only semantics, so old
+// and new peers interoperate. This handshake is the paper's single
+// pull-based registration; the client still never writes during normal
+// flow.
 const (
 	headerTag = "stream:header"
 	resumeTag = "stream:resume"
@@ -198,6 +204,7 @@ func serveConn(s *Server, conn net.Conn, opts ServeOptions) error {
 	header.SetAttr("proto", protoVersion)
 	header.SetAttr("oldest", strconv.FormatUint(st.OldestRetained, 10))
 	header.SetAttr("latest", strconv.FormatUint(st.LatestSeq, 10))
+	header.SetAttr("floor", strconv.FormatUint(st.ResumeFloor, 10))
 	header.AppendChild(s.Structure().ToXML())
 	if err := clean.WriteFrame(encodeElement(header)); err != nil {
 		return err
@@ -280,6 +287,27 @@ type handshake struct {
 	name           string
 	structure      *tagstruct.Structure
 	oldest, latest uint64
+	// floor is the lowest lossless resume position the server advertised;
+	// hasFloor distinguishes floor=0 (the whole stream is servable) from
+	// a legacy server that sent no floor attribute at all.
+	floor    uint64
+	hasFloor bool
+}
+
+// baselineFor picks the sequence baseline a fresh registration anchors
+// at: a server advertising a durable floor starts its replay right after
+// max(after, floor) — pre-window fragments arrive via the durable
+// bridge — so anchoring at the in-memory window's oldest would
+// misclassify the bridged prefix as duplicates. Legacy servers (no
+// floor attribute) anchor at the window as before.
+func baselineFor(hs handshake, after uint64) uint64 {
+	if hs.hasFloor {
+		if after >= hs.floor {
+			return after + 1
+		}
+		return hs.floor + 1
+	}
+	return hs.oldest
 }
 
 // Dial registers with a stream server under explicit reconnect options.
@@ -293,7 +321,7 @@ func Dial(addr string, opts DialOptions) (*Client, error) {
 		return nil, err
 	}
 	c := NewClient(hs.name, hs.structure)
-	c.setBaseline(hs.oldest)
+	c.setBaseline(baselineFor(hs, 0))
 	c.noteLatest(hs.latest)
 	go runClient(c, conn, addr, opts)
 	return c, nil
@@ -348,6 +376,11 @@ func dialHandshake(addr string, after uint64) (*clientConn, handshake, error) {
 	hs := handshake{name: headerEl.AttrOr("name", ""), structure: structure}
 	hs.oldest, _ = strconv.ParseUint(headerEl.AttrOr("oldest", "0"), 10, 64)
 	hs.latest, _ = strconv.ParseUint(headerEl.AttrOr("latest", "0"), 10, 64)
+	if v := headerEl.AttrOr("floor", ""); v != "" {
+		if floor, ferr := strconv.ParseUint(v, 10, 64); ferr == nil {
+			hs.floor, hs.hasFloor = floor, true
+		}
+	}
 	return &clientConn{conn: conn, br: br}, hs, nil
 }
 
@@ -453,18 +486,35 @@ func reconnect(c *Client, addr string, opts DialOptions) (*clientConn, bool) {
 			return nil, false
 		}
 		// The resume position may have slid out of the server's replay
-		// window; that loss is permanent and must be said out loud.
+		// window. With an advertised durable floor at or below it the
+		// server bridges the gap losslessly (a snapshot bootstrap); below
+		// the floor — or past a legacy server's window — the loss is
+		// permanent and must be said out loud.
 		if after > 0 {
+			outcome := outcomeReplay
 			switch {
+			case hs.hasFloor && after >= hs.floor:
+				// lossless; it is a bootstrap when the in-memory window
+				// alone could not have served the position
+				if (hs.oldest > 0 && hs.oldest > after+1) || (hs.oldest == 0 && hs.latest > after) {
+					outcome = outcomeSnapshot
+				}
+			case hs.hasFloor:
+				outcome = outcomeDegraded
+				c.reportUnrecoverable(Gap{From: after + 1, To: hs.floor,
+					Reason: fmt.Sprintf("unrecoverable: server can only resume after seq %d", hs.floor)})
 			case hs.oldest > after+1:
+				outcome = outcomeDegraded
 				c.reportUnrecoverable(Gap{From: after + 1, To: hs.oldest - 1,
 					Reason: fmt.Sprintf("unrecoverable: server replay window starts at seq %d", hs.oldest)})
 			case hs.oldest == 0 && hs.latest > after:
+				outcome = outcomeDegraded
 				c.reportUnrecoverable(Gap{From: after + 1, To: hs.latest,
 					Reason: "unrecoverable: server retains no replay history"})
 			}
+			c.noteReconnectOutcome(outcome)
 		}
-		c.setBaseline(hs.oldest)
+		c.setBaseline(baselineFor(hs, after))
 		c.noteReconnect()
 		c.noteLatest(hs.latest)
 		return conn, true

@@ -39,6 +39,7 @@ import (
 	"xcql/internal/budget"
 	"xcql/internal/fragment"
 	"xcql/internal/obs"
+	"xcql/internal/segstore"
 	"xcql/internal/stream"
 	"xcql/internal/tagstruct"
 	"xcql/internal/temporal"
@@ -163,6 +164,29 @@ type (
 	FaultStats = stream.FaultStats
 	// FaultInjector corrupts a fragment flow on purpose (tests, -chaos).
 	FaultInjector = stream.FaultInjector
+	// SegStore is the durable segment store: an append-only, checksummed
+	// fragment log with crash recovery, snapshots and compaction. Servers
+	// write through to one (Server.AttachDurable) so reconnecting clients
+	// can bootstrap past the in-memory replay window; standalone hosts use
+	// it to survive restarts (see OpenSegStore).
+	SegStore = segstore.Store
+	// SegStoreOptions tune a SegStore: segment size, fsync policy,
+	// automatic snapshot cadence.
+	SegStoreOptions = segstore.Options
+	// RecoveryReport says what opening a SegStore found: frames and
+	// snapshots loaded, torn tails truncated, corrupt files quarantined,
+	// and — when data was lost — an explicit Degraded reason.
+	RecoveryReport = segstore.RecoveryReport
+	// SegStoreStats is a snapshot of a SegStore's counters.
+	SegStoreStats = segstore.Stats
+	// CompactStats reports one durable compaction pass.
+	CompactStats = segstore.CompactStats
+	// DurableLog is the write-through/replay interface a Server uses for
+	// durable bootstrap; *SegStore satisfies it.
+	DurableLog = stream.DurableLog
+	// Compactor runs registered maintenance steps (in-memory coalescing,
+	// durable compaction, snapshots) on one background goroutine.
+	Compactor = fragment.Compactor
 	// DateTime is a time point, possibly the symbolic start or now.
 	DateTime = xtime.DateTime
 	// Duration is an ISO-8601 duration (PnYnMnDTnHnMnS).
@@ -408,6 +432,27 @@ func ServeTCPOptions(s *Server, ln net.Listener, opts ServeOptions) error {
 // NewFaultInjector builds a seeded transport-fault injector for
 // ServeOptions.Faults.
 func NewFaultInjector(plan FaultPlan) *FaultInjector { return stream.NewFaultInjector(plan) }
+
+// OpenSegStore opens (creating if needed) a durable segment store rooted
+// at dir, running crash recovery first: torn tails are truncated,
+// corrupt files are quarantined-and-salvaged, and the report says exactly
+// what was found — recovery never silently narrows the data.
+func OpenSegStore(dir string, opts SegStoreOptions) (*SegStore, *RecoveryReport, error) {
+	return segstore.Open(dir, opts)
+}
+
+// RecoverServer rebuilds a stream server from its durable log after a
+// restart: sequence numbers continue monotonically, the replay window is
+// reseeded, and the log stays attached for write-through.
+func RecoverServer(name string, s *TagStructure, d DurableLog) (*Server, error) {
+	return stream.RecoverServer(name, s, d)
+}
+
+// NewCompactor builds a background maintenance runner over the given
+// steps (interval <= 0 means manual-only via RunOnce).
+func NewCompactor(interval time.Duration, steps ...func() error) *Compactor {
+	return fragment.NewCompactor(interval, steps...)
+}
 
 // NewContinuousQuery wraps a compiled query for continuous evaluation.
 func NewContinuousQuery(q *Query, onResult func(Result)) *ContinuousQuery {
