@@ -148,8 +148,10 @@ func (s *Store) Compact() (CompactStats, error) {
 	// registers outputs in s.segs as it goes
 	oldSegs := s.segs
 	s.segs = nil
+	outNames := make(map[string]bool, len(outSegs))
 	for k, frames := range outSegs {
 		name := fmt.Sprintf("cseg-%016x-g%d-%d.seg", frames[0].lsn, s.compactGen, k)
+		outNames[name] = true
 		if err := s.writeSegmentFile(name, frames); err != nil {
 			// keep both outputs written so far and all inputs: duplicates
 			// are safe, lost frames are not
@@ -159,6 +161,12 @@ func (s *Store) Compact() (CompactStats, error) {
 	}
 	st.OutputSegments = len(outSegs)
 	for _, si := range oldSegs {
+		// never remove an input an output just renamed over: the generation
+		// counter makes collisions impossible in normal operation, but a
+		// name clash must cost a duplicate, not the frames
+		if outNames[si.name] {
+			continue
+		}
 		_ = s.fs.Remove(filepath.Join(s.dir, si.name))
 	}
 	_ = s.fs.SyncDir(s.dir)

@@ -246,6 +246,18 @@ func Open(dir string, opts Options) (*Store, *RecoveryReport, error) {
 	sort.Strings(segNames)
 	sort.Strings(snapNames)
 
+	// seed the compaction generation past every cseg already on disk —
+	// whatever its fate below — so a post-restart compaction can never
+	// name an output after a surviving input, rename over it, and then
+	// delete it as "consumed"
+	taken := make(map[string]bool, len(segNames))
+	for _, name := range segNames {
+		taken[name] = true
+		if g := csegGen(name); g > s.compactGen {
+			s.compactGen = g
+		}
+	}
+
 	// Snapshots, newest first: the first valid one is live, older ones
 	// are subsumed by it (it was built from everything committed) and
 	// removed; an invalid newest is quarantined and the next older one
@@ -309,9 +321,17 @@ func Open(dir string, opts Options) (*Store, *RecoveryReport, error) {
 		switch {
 		case res.corrupt:
 			// salvage the clean prefix into a fresh segment, then set the
-			// corrupt original aside for forensics
+			// corrupt original aside for forensics; a crashed earlier
+			// recovery may have left a salvage file with the same first
+			// LSN, so pick a name no live segment already owns rather than
+			// truncating it (and double-registering the name)
 			if len(res.frames) > 0 {
-				if err := s.writeSegmentFile(salvageName(res.frames[0].lsn), res.frames); err != nil {
+				sname := salvageName(res.frames[0].lsn)
+				for k := 1; taken[sname]; k++ {
+					sname = fmt.Sprintf("rseg-%016x-%d.seg", res.frames[0].lsn, k)
+				}
+				taken[sname] = true
+				if err := s.writeSegmentFile(sname, res.frames); err != nil {
 					return nil, nil, fmt.Errorf("segstore: salvaging %s: %w", name, err)
 				}
 				rep.SalvagedFrames += len(res.frames)
@@ -411,6 +431,23 @@ func isSegName(name string) bool {
 func segName(firstLSN uint64) string { return fmt.Sprintf("seg-%016x.seg", firstLSN) }
 func salvageName(lsn uint64) string  { return fmt.Sprintf("rseg-%016x.seg", lsn) }
 func snapName(gen uint64) string     { return fmt.Sprintf("snap-%016x.snap", gen) }
+
+// csegGen extracts the generation from a compaction output name
+// (cseg-<firstLSN>-g<gen>-<k>.seg), 0 for anything else.
+func csegGen(name string) uint64 {
+	if !strings.HasPrefix(name, "cseg-") || !strings.HasSuffix(name, ".seg") {
+		return 0
+	}
+	parts := strings.Split(strings.TrimSuffix(name, ".seg"), "-")
+	if len(parts) != 4 || len(parts[2]) < 2 || parts[2][0] != 'g' {
+		return 0
+	}
+	g, err := strconv.ParseUint(parts[2][1:], 10, 64)
+	if err != nil {
+		return 0
+	}
+	return g
+}
 
 // quarantine renames a broken file to <name>.quarantine (never deleting
 // evidence) and records it.
@@ -645,6 +682,9 @@ func (s *Store) repairActiveLocked() {
 // LSN and returns them in LSN (= append) order. Corrupt regions found
 // at read time — at-rest corruption after a clean open — are skipped
 // and counted rather than failing the read: quarantine-and-continue.
+// Every skipped region also breaks the contiguity claim (see
+// noteRuntimeCorruptionLocked): a read that dropped frames must not
+// leave SeqCoverage promising a gap-free bootstrap.
 func (s *Store) collectLocked() ([]frameRec, error) {
 	var out []frameRec
 	seen := make(map[uint64]bool)
@@ -677,17 +717,27 @@ func (s *Store) collectLocked() ([]frameRec, error) {
 			return nil, fmt.Errorf("segstore: reading %s: %w", name, err)
 		}
 		if len(data) < len(segMagic) || string(data[:len(segMagic)]) != segMagic {
-			s.stats.QuarantinedFrames++
+			s.noteRuntimeCorruptionLocked()
 			continue
 		}
 		res := parseFile(data[len(segMagic):], int64(len(segMagic)))
 		if res.corrupt {
-			s.stats.QuarantinedFrames++
+			s.noteRuntimeCorruptionLocked()
 		}
 		add(res.frames)
 	}
 	sort.SliceStable(out, func(i, j int) bool { return out[i].lsn < out[j].lsn })
 	return out, nil
+}
+
+// noteRuntimeCorruptionLocked records a corrupt region skipped during a
+// runtime read. Counting is not enough: frames the open-time scan
+// registered are now unreadable, so the contiguity claim behind
+// SeqCoverage — and through it every advertised resume floor — must
+// retreat, sticky, exactly like the write-failure policy.
+func (s *Store) noteRuntimeCorruptionLocked() {
+	s.stats.QuarantinedFrames++
+	s.contiguous = false
 }
 
 // All returns every committed fragment in append order (sequenced or
@@ -762,9 +812,15 @@ func (s *Store) ReadTSID(tsid int) ([]*fragment.Fragment, error) {
 		if err != nil {
 			return nil, fmt.Errorf("segstore: reading %s: %w", si.name, err)
 		}
-		if len(data) >= len(segMagic) && string(data[:len(segMagic)]) == segMagic {
-			add(parseFile(data[len(segMagic):], int64(len(segMagic))).frames)
+		if len(data) < len(segMagic) || string(data[:len(segMagic)]) != segMagic {
+			s.noteRuntimeCorruptionLocked()
+			continue
 		}
+		res := parseFile(data[len(segMagic):], int64(len(segMagic)))
+		if res.corrupt {
+			s.noteRuntimeCorruptionLocked()
+		}
+		add(res.frames)
 	}
 	sort.SliceStable(out, func(i, j int) bool { return out[i].lsn < out[j].lsn })
 	frags := make([]*fragment.Fragment, 0, len(out))

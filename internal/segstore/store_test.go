@@ -502,6 +502,160 @@ func TestCompactSurvivesReopen(t *testing.T) {
 	mustEqualWires(t, got[:len(want)], want)
 }
 
+func TestCompactGenerationSurvivesReopen(t *testing.T) {
+	dir := t.TempDir()
+	first := nFrags(30)
+	s, _ := openT(t, dir, Options{MaxSegmentBytes: 300})
+	appendAll(t, s, first)
+	if _, err := s.Compact(); err != nil {
+		t.Fatal(err)
+	}
+	s.Close()
+
+	// restart: the generation counter must resume past the surviving cseg
+	// outputs, or the next compaction names an output after one of its own
+	// inputs, renames over it, and then deletes it as consumed — losing
+	// every frame the input held
+	s2, _ := openT(t, dir, Options{MaxSegmentBytes: 300})
+	var more []*fragment.Fragment
+	for i := 0; i < 10; i++ {
+		at := ts("2003-03-01T00:00:00").Add(time.Duration(i) * time.Minute)
+		more = append(more, frag(100+i, 2+i%3, at.Format(xtime.Layout), "w"+strconv.Itoa(i), uint64(31+i)))
+	}
+	appendAll(t, s2, more)
+	if _, err := s2.Compact(); err != nil {
+		t.Fatal(err)
+	}
+	want := append(append([]*fragment.Fragment{}, first...), more...)
+	got, err := s2.All()
+	if err != nil {
+		t.Fatal(err)
+	}
+	mustEqualWires(t, got, want)
+	s2.Close()
+
+	s3, rep := openT(t, dir, Options{MaxSegmentBytes: 300})
+	defer s3.Close()
+	if rep.Degraded != "" {
+		t.Fatalf("twice-compacted store reopened degraded: %s", rep.Degraded)
+	}
+	got3, err := s3.All()
+	if err != nil {
+		t.Fatal(err)
+	}
+	mustEqualWires(t, got3, want)
+}
+
+func TestRuntimeCorruptionBreaksCoverageClaim(t *testing.T) {
+	dir := t.TempDir()
+	want := nFrags(20)
+	s, _ := openT(t, dir, Options{MaxSegmentBytes: 300})
+	defer s.Close()
+	appendAll(t, s, want)
+	if _, _, contig := s.SeqCoverage(); !contig {
+		t.Fatal("clean log must start contiguous")
+	}
+
+	// flip a byte in a sealed segment after the clean open: at-rest
+	// corruption a runtime read will hit
+	entries, _ := os.ReadDir(dir)
+	var names []string
+	for _, e := range entries {
+		if strings.HasSuffix(e.Name(), ".seg") {
+			names = append(names, e.Name())
+		}
+	}
+	if len(names) < 2 {
+		t.Fatalf("need >= 2 segments, got %v", names)
+	}
+	victim := filepath.Join(dir, names[0])
+	data, _ := os.ReadFile(victim)
+	data[len(data)/2] ^= 0x40
+	if err := os.WriteFile(victim, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	got, err := s.ReadSince(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) >= len(want) {
+		t.Fatalf("corruption dropped nothing (%d of %d); test setup is broken", len(got), len(want))
+	}
+	// the read quarantined frames, so the coverage claim must stop
+	// promising a gap-free bootstrap — ResumeFloor feeds off this
+	if _, _, contig := s.SeqCoverage(); contig {
+		t.Fatal("runtime read dropped frames but SeqCoverage still claims contiguity")
+	}
+	if s.Stats().QuarantinedFrames == 0 {
+		t.Fatal("quarantined region not counted")
+	}
+}
+
+func TestSalvageDoesNotClobberExistingSalvageSegment(t *testing.T) {
+	dir := t.TempDir()
+	want := nFrags(12)
+	s, _ := openT(t, dir, Options{MaxSegmentBytes: 250})
+	appendAll(t, s, want)
+	s.Close()
+
+	entries, _ := os.ReadDir(dir)
+	var names []string
+	for _, e := range entries {
+		if strings.HasSuffix(e.Name(), ".seg") {
+			names = append(names, e.Name())
+		}
+	}
+	if len(names) < 2 {
+		t.Fatalf("need >= 2 segments, got %v", names)
+	}
+	// a previous crashed recovery left a full salvage copy of the first
+	// segment under the very name the next salvage would pick
+	first := filepath.Join(dir, names[0])
+	data, err := os.ReadFile(first)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join(dir, salvageName(1)), data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	// now corrupt the original near its tail: the clean prefix salvages
+	// under a first LSN of 1, colliding with the planted file — which
+	// holds MORE than the salvage would (its last frame), so truncating
+	// it over would lose a committed frame
+	data = append([]byte(nil), data...)
+	data[len(data)-3] ^= 0x40
+	if err := os.WriteFile(first, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	s2, rep := openT(t, dir, Options{MaxSegmentBytes: 250})
+	if rep.Degraded == "" {
+		t.Fatal("corrupt segment must be reported degraded")
+	}
+	got, err := s2.All()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// the planted salvage file still holds the whole first segment, so
+	// nothing may actually be missing
+	mustEqualWires(t, got, want)
+	s2.Close()
+
+	// and the layout must be stable: reopening neither quarantines again
+	// nor double-registers a name
+	s3, rep3 := openT(t, dir, Options{MaxSegmentBytes: 250})
+	defer s3.Close()
+	if len(rep3.QuarantinedFiles) != 0 {
+		t.Fatalf("second open quarantined again: %+v", rep3.QuarantinedFiles)
+	}
+	got3, err := s3.All()
+	if err != nil {
+		t.Fatal(err)
+	}
+	mustEqualWires(t, got3, want)
+}
+
 func TestAppendAfterInjectedWriteError(t *testing.T) {
 	dir := t.TempDir()
 	ffs := NewFaultFS(nil, FaultPlan{Seed: 7, ShortWriteProb: 0.4})

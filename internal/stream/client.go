@@ -119,8 +119,8 @@ type Client struct {
 	reconnectReplay   int64
 	reconnectSnapshot int64
 	reconnectDegraded int64
-	gaps       []Gap
-	degraded   string // sticky reason for permanent loss
+	gaps              []Gap
+	degraded          string // sticky reason for permanent loss
 }
 
 // NewClient builds a client for a stream with the given tag structure

@@ -120,11 +120,15 @@ func (s *Server) replayLocked(afterSeq uint64) []*fragment.Fragment {
 		oldest = s.history[0].Seq
 	}
 	var replay []*fragment.Fragment
-	windowShort := (oldest == 0 && s.nextSeq > afterSeq) || (oldest > 0 && oldest > afterSeq+1)
+	windowShort := oldest > 0 && oldest > afterSeq+1
 	if windowShort && s.durable != nil && s.durableBroken == "" {
 		// a log whose coverage starts after afterSeq+1 still bridges what
-		// it has — the client writes off only [afterSeq+1, floor]
-		if min, _, contiguous := s.durable.SeqCoverage(); contiguous && min > 0 && (oldest == 0 || min < oldest) {
+		// it has — the client writes off only [afterSeq+1, floor] — but,
+		// mirroring resumeFloorLocked, only a coverage that joins up with
+		// the retained window (max >= oldest-1) may bridge at all: a log
+		// that stops short would hand the subscriber a replay with a
+		// silent hole between its last frame and the window
+		if min, max, contiguous := s.durable.SeqCoverage(); contiguous && min > 0 && min < oldest && max >= oldest-1 {
 			frames, err := s.durable.ReadSince(afterSeq)
 			switch {
 			case err != nil:
@@ -136,7 +140,7 @@ func (s *Server) replayLocked(afterSeq uint64) []*fragment.Fragment {
 				}
 			default:
 				for _, f := range frames {
-					if oldest == 0 || f.Seq < oldest {
+					if f.Seq < oldest {
 						replay = append(replay, f)
 					}
 				}
@@ -157,23 +161,4 @@ func (s *Server) replayLocked(afterSeq uint64) []*fragment.Fragment {
 		}
 	}
 	return replay
-}
-
-// appendDurableLocked writes one stamped fragment through to the durable
-// log before delivery. The first failure marks the log broken — the
-// resume floor immediately retreats to the in-memory window — and is
-// reported out loud; delivery itself proceeds. The caller holds s.mu.
-func (s *Server) appendDurableLocked(stamped *fragment.Fragment) {
-	if s.durable == nil || s.durableBroken != "" {
-		return
-	}
-	if err := s.durable.Append(stamped); err != nil {
-		s.storageErrors++
-		s.durableBroken = err.Error()
-		if l := s.log(); l != nil {
-			l.LogAttrs(logCtx, slog.LevelError, "durable write-through failed, log marked broken",
-				slog.String("component", "server"), slog.String("stream", s.name),
-				slog.Uint64("seq", stamped.Seq), slog.String("err", err.Error()))
-		}
-	}
 }

@@ -173,6 +173,94 @@ func (l *flakyLog) SeqCoverage() (uint64, uint64, bool) {
 	return l.frames[0].Seq, l.frames[len(l.frames)-1].Seq, true
 }
 
+// TestBridgeRequiresJoinUpWithWindow pins the in-process bridge's
+// join-up rule: a durable log whose coverage stops short of the
+// retained window must not bridge at all — the replay would carry a
+// silent hole between the log's last frame and the window — mirroring
+// the advertised resume floor.
+func TestBridgeRequiresJoinUpWithWindow(t *testing.T) {
+	log := &flakyLog{}
+	s := NewServer("sensors", sensorStructure(t))
+	defer s.Close()
+	s.AttachDurable(log)
+	s.Publish(rootFragment())
+	for i := 1; i <= 9; i++ {
+		s.Publish(eventFragment(i, "2003-01-02T00:00:00", "v"))
+	}
+	s.SetHistoryLimit(2)        // window holds seqs [9,10]
+	log.frames = log.frames[:3] // durable coverage [1,3]: hole 4..8
+
+	// the floor must not promise the unreachable durable range
+	if got := s.Stats().ResumeFloor; got != 8 {
+		t.Fatalf("ResumeFloor = %d, want 8 (window only)", got)
+	}
+	sub := s.SubscribeFrom(32, 0)
+	defer sub.Cancel()
+	got := drain(sub)
+	if len(got) != 2 || got[0].Seq != 9 {
+		seqs := make([]uint64, len(got))
+		for i, f := range got {
+			seqs[i] = f.Seq
+		}
+		t.Fatalf("replay bridged across a hole: got seqs %v, want [9 10]", seqs)
+	}
+	if st := s.Stats(); st.Bootstraps != 0 {
+		t.Fatalf("holed bridge counted as bootstrap: %d", st.Bootstraps)
+	}
+}
+
+// blockingLog stalls Append until released, exposing what Publish holds
+// locked across the durable write.
+type blockingLog struct {
+	started chan struct{}
+	release chan struct{}
+}
+
+func (l *blockingLog) Append(*fragment.Fragment) error {
+	close(l.started)
+	<-l.release
+	return nil
+}
+func (l *blockingLog) ReadSince(uint64) ([]*fragment.Fragment, error) { return nil, nil }
+func (l *blockingLog) SeqCoverage() (uint64, uint64, bool)            { return 0, 0, true }
+
+// TestPublishDoesNotHoldStateLockDuringDurableAppend pins that a slow
+// durable fsync stalls only other publishers, never subscribers or
+// Stats: the state lock is released around the write-through.
+func TestPublishDoesNotHoldStateLockDuringDurableAppend(t *testing.T) {
+	log := &blockingLog{started: make(chan struct{}), release: make(chan struct{})}
+	s := NewServer("sensors", sensorStructure(t))
+	defer s.Close()
+	s.AttachDurable(log)
+
+	done := make(chan struct{})
+	go func() {
+		s.Publish(rootFragment())
+		close(done)
+	}()
+	<-log.started // the durable append is now in flight
+
+	statsDone := make(chan ServerStats, 1)
+	go func() { statsDone <- s.Stats() }()
+	var blocked bool
+	select {
+	case <-statsDone:
+		// Stats returned while the disk was "syncing" — the lock is free
+	case <-time.After(2 * time.Second):
+		blocked = true
+	}
+	// release before failing so a lock-holding Publish cannot deadlock
+	// the test's own cleanup
+	close(log.release)
+	<-done
+	if blocked {
+		t.Fatal("Stats blocked behind an in-flight durable append")
+	}
+	if got := s.LatestSeq(); got != 1 {
+		t.Fatalf("publish did not complete after release: seq %d", got)
+	}
+}
+
 // TestDurableWriteThroughFailure pins the failure policy: the first
 // append error marks the log broken (sticky, counted, floor retreats to
 // the in-memory window) but delivery keeps flowing.

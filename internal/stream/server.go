@@ -38,6 +38,11 @@ type Server struct {
 	structure *tagstruct.Structure
 	logHolder
 
+	// pubMu serializes publishes end to end so the durable write-through
+	// order always equals the sequence order; mu guards the shared state
+	// and is never held across a disk sync. Lock order: pubMu before mu.
+	pubMu sync.Mutex
+
 	mu           sync.Mutex
 	subs         map[*Subscription]struct{}
 	history      []*fragment.Fragment // seq-stamped, retained for replay
@@ -203,7 +208,15 @@ func (s *Server) subscribeLocked(buffer int, replay []*fragment.Fragment) *Subsc
 // the subscription (filler id + seq) and in the aggregate Dropped
 // counter. The publish-instant stamp (Fragment.PublishedAt) is what
 // in-process clients measure delivery latency against.
+//
+// With a durable log attached the write-through (an fsync per publish by
+// default) happens between sequence assignment and delivery — still
+// write-ahead, so a crash can never deliver a frame the log lost — but
+// outside the state lock: a slow disk serializes concurrent publishers
+// (pubMu), never subscribers, Stats or subscriptions.
 func (s *Server) Publish(f *fragment.Fragment) {
+	s.pubMu.Lock()
+	defer s.pubMu.Unlock()
 	s.mu.Lock()
 	if s.closed {
 		s.mu.Unlock()
@@ -215,7 +228,33 @@ func (s *Server) Publish(f *fragment.Fragment) {
 	if stamped.ValidTime.After(s.watermark) {
 		s.watermark = stamped.ValidTime
 	}
-	s.appendDurableLocked(stamped)
+	d := s.durable
+	if s.durableBroken != "" {
+		d = nil
+	}
+	s.mu.Unlock()
+
+	var derr error
+	if d != nil {
+		derr = d.Append(stamped)
+	}
+
+	s.mu.Lock()
+	if derr != nil && s.durable == d {
+		// first failure marks the log broken (sticky): the resume floor
+		// immediately retreats to the in-memory window. Delivery proceeds
+		// — the radio keeps transmitting.
+		s.storageErrors++
+		if s.durableBroken == "" {
+			s.durableBroken = derr.Error()
+		}
+	}
+	if s.closed {
+		// closed while the durable append was in flight: the frame is on
+		// disk (recovery will replay it) but there is nobody to deliver to
+		s.mu.Unlock()
+		return
+	}
 	s.history = append(s.history, stamped)
 	s.trimHistoryLocked()
 	drops := 0
@@ -230,6 +269,13 @@ func (s *Server) Publish(f *fragment.Fragment) {
 		}
 	}
 	s.mu.Unlock()
+	if derr != nil {
+		if l := s.log(); l != nil {
+			l.LogAttrs(logCtx, slog.LevelError, "durable write-through failed, log marked broken",
+				slog.String("component", "server"), slog.String("stream", s.name),
+				slog.Uint64("seq", stamped.Seq), slog.String("err", derr.Error()))
+		}
+	}
 	if l := s.log(); l != nil {
 		l.LogAttrs(logCtx, slog.LevelDebug, "publish",
 			slog.String("component", "server"), slog.String("stream", s.name),
