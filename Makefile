@@ -2,9 +2,9 @@
 GO       ?= go
 FUZZTIME ?= 10s
 
-.PHONY: check vet static build test race race-stream test-recovery test-diffharness test-diffharness-incremental fuzz-smoke bench bench-json bench-diff bench-diff-smoke
+.PHONY: check vet static build test race race-stream test-recovery test-diffharness test-diffharness-incremental test-registry fuzz-smoke bench bench-json bench-diff bench-diff-smoke
 
-check: vet static build race race-stream test-recovery test-diffharness test-diffharness-incremental bench-diff-smoke fuzz-smoke
+check: vet static build race race-stream test-recovery test-diffharness test-diffharness-incremental test-registry bench-diff-smoke fuzz-smoke
 
 vet:
 	$(GO) vet ./...
@@ -32,7 +32,7 @@ race:
 # worker pool and the materialization cache; a second -count=2 pass under
 # the race detector is the deflake gate.
 race-stream:
-	$(GO) test -race -count=2 -timeout 120s ./internal/stream ./internal/obs ./internal/temporal ./internal/fragment
+	$(GO) test -race -count=2 -timeout 120s ./internal/stream ./internal/obs ./internal/temporal ./internal/fragment ./internal/registry
 
 # The crash-point harness: enumerate every filesystem operation in an
 # ingest/snapshot/compact run, kill the store at each one, and prove
@@ -54,6 +54,15 @@ test-diffharness:
 test-diffharness-incremental:
 	$(GO) test -race -run '^(TestDiffHarnessIncremental|TestIncrementalArrivalOrder)$$' -timeout 600s .
 
+# The registry-equivalence cell: 200+ generated store/query pairs
+# replayed through the multi-tenant registry with 2..32 overlapping
+# standing registrations, every delta stream and final standing result
+# byte-identical to independent continuous queries, plus the churn/soak
+# and shared-cost monotonicity suites, under the race detector.
+test-registry:
+	$(GO) test -race -run '^(TestRegistryEquivalence|TestRegistrySharedCostMonotonic)$$' -timeout 600s .
+	$(GO) test -race -run '^(TestRegistryChurnUnderFire|TestRegistryAdmissionOverload)$$' -timeout 120s ./internal/registry
+
 # A short deterministic shake of each fuzz target; longer runs are
 # `make fuzz-smoke FUZZTIME=5m`. `-run '^$'` skips the unit tests that
 # already ran under `race`.
@@ -63,6 +72,7 @@ fuzz-smoke:
 	$(GO) test ./internal/stream -run '^$$' -fuzz '^FuzzFrameRoundTrip$$' -fuzztime $(FUZZTIME)
 	$(GO) test ./internal/segstore -run '^$$' -fuzz '^FuzzSegmentReplay$$' -fuzztime $(FUZZTIME)
 	$(GO) test ./internal/xcql -run '^$$' -fuzz '^FuzzCompile$$' -fuzztime $(FUZZTIME)
+	$(GO) test ./internal/registry -run '^$$' -fuzz '^FuzzQueryAPIRequest$$' -fuzztime $(FUZZTIME) -fuzzminimizetime 10x
 	$(GO) test . -run '^$$' -fuzz '^FuzzIncrementalArrival$$' -fuzztime $(FUZZTIME)
 
 bench:
@@ -72,10 +82,11 @@ bench:
 # benchmarks (quick scales) as JSON — cost counters and latency quantiles
 # included — the cross-PR performance trajectory. Compare two snapshots
 # with bench-diff.
-BENCHOUT ?= BENCH_pr7.json
+BENCHOUT ?= BENCH_pr8.json
 bench-json:
 	( $(GO) test -run '^$$' -bench '^(BenchmarkFigure4|BenchmarkSelectivity|BenchmarkContinuous|BenchmarkParallelCache|BenchmarkRecovery|BenchmarkSnapshotBootstrap)$$' -benchmem -short . ; \
-	  $(GO) test -run '^$$' -bench '^BenchmarkIncrementalContinuous$$' -benchtime 300x -benchmem -short . ) \
+	  $(GO) test -run '^$$' -bench '^BenchmarkIncrementalContinuous$$' -benchtime 300x -benchmem -short . ; \
+	  $(GO) test -run '^$$' -bench '^BenchmarkRegistryFanout$$' -benchtime 300x -benchmem -short . ) \
 		| $(GO) run ./cmd/benchjson > $(BENCHOUT)
 
 # Regression table between two snapshots:

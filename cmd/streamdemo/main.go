@@ -19,6 +19,12 @@
 //	                          # past the in-memory replay window bootstrap
 //	                          # from the log instead of losing data
 //	streamdemo -log           # structured debug logs for the pipeline
+//	streamdemo -serve 127.0.0.1:9280
+//	                          # expose the standing-query API: POST XCQL
+//	                          # text to /v1/query (or register over a
+//	                          # WebSocket at /v1/subscribe) and receive
+//	                          # JSON deltas as fragments arrive; the
+//	                          # process keeps streaming until interrupted
 //
 // In -chaos mode the transport deliberately misbehaves under a seeded
 // RNG; the run then demonstrates the reliability layer: gap events are
@@ -67,6 +73,7 @@ func main() {
 	parallel := flag.Int("parallel", 1, "worker count for parallel hole resolution (1 = sequential)")
 	cacheSize := flag.Int("cache", 0, "filler-resolution cache capacity in entries (0 = uncached)")
 	incremental := flag.Bool("incremental", false, "evaluate the continuous query incrementally: each arrival touches only the state reachable from its tag")
+	serveAddr := flag.String("serve", "", "serve the standing-query API on this address (e.g. 127.0.0.1:9280): register XCQL over HTTP or WebSocket, receive JSON deltas; keeps the demo streaming until interrupted")
 	storeDir := flag.String("store-dir", "", "durable segment store directory: publishes write through to it, the server recovers from it on restart, and reconnecting clients bootstrap from it past the replay window")
 	historyLimit := flag.Int("history", 0, "bound the server's in-memory replay window to this many fragments (0 = unbounded); with -store-dir older positions stay servable from the log")
 	flag.Parse()
@@ -173,6 +180,30 @@ func main() {
 	cq.RegisterMetrics(registry, "cq")
 	cq.Attach(client)
 
+	// -serve mounts the multi-tenant standing-query API over the same
+	// client store: registrations compiled by this engine share one
+	// evaluation per arriving fragment per access path, and subscribers
+	// receive JSON deltas over HTTP long-poll-free WebSocket frames
+	var querySrv *http.Server
+	if *serveAddr != "" {
+		qreg := engine.Registry()
+		qreg.AttachClient(client)
+		qreg.RegisterMetrics(registry, "registry")
+		qln, err := net.Listen("tcp", *serveAddr)
+		if err != nil {
+			log.Fatal(err)
+		}
+		querySrv = &http.Server{Handler: engine.ServeQueryAPI()}
+		go func() { _ = querySrv.Serve(qln) }()
+		go func() {
+			<-ctx.Done()
+			shCtx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
+			defer cancel()
+			_ = querySrv.Shutdown(shCtx)
+		}()
+		fmt.Printf("query API on http://%s — POST /v1/query, WebSocket /v1/subscribe, stats /v1/registryz\n", qln.Addr())
+	}
+
 	// one registry holds the whole pipeline — server, transport faults,
 	// client and continuous query — and doubles as the /metrics handler;
 	// /statusz renders the human-readable health + EXPLAIN view
@@ -223,7 +254,7 @@ func main() {
 	server.Publish(xcql.NewFragment(2, 4, base, el(`<creditLimit>5000</creditLimit>`)))
 
 	holes := `<hole id="2" tsid="4"/>`
-	for i := 0; i < *events; i++ {
+	for i := 0; i < *events && ctx.Err() == nil; i++ {
 		txID := 100 + i
 		holes += fmt.Sprintf(`<hole id="%d" tsid="5"/>`, txID)
 		// the account update announces the new hole, the event follows
@@ -233,6 +264,14 @@ func main() {
 		server.Publish(xcql.NewFragment(txID, 5, base.Add(time.Duration(i+1)*time.Minute),
 			el(fmt.Sprintf(`<transaction id="t%d"><vendor>Shop %d</vendor><amount>%d</amount></transaction>`, i, i, amount))))
 		time.Sleep(20 * time.Millisecond)
+	}
+
+	// in serve mode the burst is just the opening data set: keep the
+	// stream open for API registrations until the user interrupts
+	if *serveAddr != "" {
+		fmt.Println("event burst complete; serving standing queries (interrupt to stop)")
+		<-ctx.Done()
+		fmt.Println("\nshutting down")
 	}
 
 	// Orderly shutdown: the eos frame triggers the client's final catch-up
@@ -293,9 +332,12 @@ func main() {
 	}
 	fmt.Println("final metric exposition:")
 	_, _ = registry.WriteTo(os.Stdout)
-	if httpSrv != nil {
+	for _, srv := range []*http.Server{httpSrv, querySrv} {
+		if srv == nil {
+			continue
+		}
 		shCtx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
-		_ = httpSrv.Shutdown(shCtx)
+		_ = srv.Shutdown(shCtx)
 		cancel()
 	}
 }

@@ -73,6 +73,28 @@ type piece struct {
 	relevant map[int]bool
 }
 
+// sig is a structural signature of one unit slot — what the unit
+// computes, independent of which query's engine computes it. Two engines
+// whose units share a signature (same stream/store, same evaluation
+// instant, same limits) produce identical outputs for the same filler,
+// which is what lets a SharedPass evaluate the unit once and hand the
+// result to every query in a shared group. Indexed signatures carry the
+// tsid and a canonical rendering of the projection wrappers; generic
+// signatures carry the sub-plan's canonical rendering. The materialize
+// flag matters (count-mode queries skip materialization), so it is baked
+// in too.
+func (p *piece) sig(arg int, stream string, materialize bool) string {
+	m := "m0|"
+	if materialize {
+		m = "m1|"
+	}
+	if p.indexed() {
+		marker := &xq.VarRef{Name: "\x00unit\x00"}
+		return m + "i|" + stream + "|" + fmt.Sprint(p.tsids[arg]) + "|" + rewrap(marker, p.wrappers).String()
+	}
+	return m + "g|" + stream + "|" + p.expr.String()
+}
+
 func (p *piece) indexed() bool { return len(p.tsids) > 0 }
 
 // unitKey orders the partial-match state the way the full plan orders
@@ -425,6 +447,102 @@ func rewrap(x xq.Expr, ws []wrapper) xq.Expr {
 	return x
 }
 
+// SharedPass memoizes unit evaluations across the engines of one shared
+// query group for one arrival: the first engine to evaluate a unit
+// signature stores its result (or error), and every later engine with
+// the same signature takes the memo instead of re-evaluating. Sharing is
+// sound only when the participating engines read the same store, the
+// same evaluation instant and the same limits — the registry scopes one
+// pass to exactly one (fragment, instant, limits, store) cell and
+// discards it afterwards, so no invalidation protocol is needed. Items
+// handed out through a pass are shared across engines; consumers must
+// not mutate them (the same rule deltas already carry).
+type SharedPass struct {
+	mu      sync.Mutex
+	results map[string]sharedResult
+	// serials memoizes node-item serializations across the group's
+	// engines: every member diffs the same shared item pointers, so the
+	// (dominant) serialization cost is paid once per item per arrival
+	// instead of once per member.
+	serials map[*xmldom.Node]string
+	hits    int64
+	misses  int64
+}
+
+type sharedResult struct {
+	seq xq.Sequence
+	err error
+}
+
+// NewSharedPass returns an empty per-arrival memo.
+func NewSharedPass() *SharedPass {
+	return &SharedPass{
+		results: make(map[string]sharedResult),
+		serials: make(map[*xmldom.Node]string),
+	}
+}
+
+// serial is itemSerial with a cross-engine memo for node items (atomic
+// items serialize trivially and are not worth a map entry).
+func (sp *SharedPass) serial(it xq.Item) string {
+	n, ok := it.(*xmldom.Node)
+	if !ok {
+		return itemSerial(it)
+	}
+	sp.mu.Lock()
+	s, ok := sp.serials[n]
+	sp.mu.Unlock()
+	if ok {
+		return s
+	}
+	s = itemSerial(it)
+	sp.mu.Lock()
+	sp.serials[n] = s
+	sp.mu.Unlock()
+	return s
+}
+
+// serialOf resolves one item's delta serial, through the shared pass's
+// memo when one is active.
+func serialOf(it xq.Item, sp *SharedPass) string {
+	if sp == nil {
+		return itemSerial(it)
+	}
+	return sp.serial(it)
+}
+
+// Hits is the number of unit evaluations served from the memo.
+func (sp *SharedPass) Hits() int64 {
+	sp.mu.Lock()
+	defer sp.mu.Unlock()
+	return sp.hits
+}
+
+// Misses is the number of unit evaluations computed into the memo — the
+// actual work the whole shared group performed this arrival.
+func (sp *SharedPass) Misses() int64 {
+	sp.mu.Lock()
+	defer sp.mu.Unlock()
+	return sp.misses
+}
+
+func (sp *SharedPass) lookup(key string) (xq.Sequence, error, bool) {
+	sp.mu.Lock()
+	defer sp.mu.Unlock()
+	r, ok := sp.results[key]
+	if ok {
+		sp.hits++
+	}
+	return r.seq, r.err, ok
+}
+
+func (sp *SharedPass) store(key string, seq xq.Sequence, err error) {
+	sp.mu.Lock()
+	sp.results[key] = sharedResult{seq: seq, err: err}
+	sp.misses++
+	sp.mu.Unlock()
+}
+
 // Apply ingests one fragment arrival (already added to the store by the
 // caller) at evaluation instant at, recomputes only the dirty units, and
 // returns the delta: the items whose serialized form was absent from the
@@ -433,12 +551,19 @@ func rewrap(x xq.Expr, ws []wrapper) xq.Expr {
 // only). An error (e.g. a budget trip in some unit) aborts the arrival
 // atomically: no state changes, and the caller may Reseed.
 func (e *Engine) Apply(f *fragment.Fragment, at time.Time, lim xcql.Limits, stats *obs.EvalStats) (xq.Sequence, error) {
+	return e.ApplyShared(f, at, lim, stats, nil)
+}
+
+// ApplyShared is Apply drawing unit evaluations from (and contributing
+// them to) a registry-scoped SharedPass; sp may be nil for unshared
+// evaluation. See SharedPass for the sharing contract.
+func (e *Engine) ApplyShared(f *fragment.Fragment, at time.Time, lim xcql.Limits, stats *obs.EvalStats, sp *SharedPass) (xq.Sequence, error) {
 	e.mu.Lock()
 	defer e.mu.Unlock()
 	if !e.seeded || at.Before(e.lastAt) {
 		// first evaluation, or a clock regression (visibility may shrink
 		// and popped pending arrivals would be lost): rebuild everything
-		return e.recomputeAll(at, lim, stats, false)
+		return e.recomputeAll(at, lim, stats, false, sp)
 	}
 	dirty := make(map[unitKey]bool)
 	if at.After(e.lastAt) {
@@ -462,7 +587,7 @@ func (e *Engine) Apply(f *fragment.Fragment, at time.Time, lim xcql.Limits, stat
 			// hole identity turned out ambiguous: permanently stop
 			// decomposing and recompute the whole plan from here on
 			e.fallback()
-			return e.recomputeAll(at, lim, stats, false)
+			return e.recomputeAll(at, lim, stats, false, sp)
 		}
 		if f.ValidTime.After(at) {
 			e.pending = append(e.pending, pendingArrival{fid: f.FillerID, tsid: f.TSID, at: f.ValidTime})
@@ -470,7 +595,7 @@ func (e *Engine) Apply(f *fragment.Fragment, at time.Time, lim xcql.Limits, stat
 			e.markArrival(f.FillerID, f.TSID, dirty)
 		}
 	}
-	seq, err := e.applyDirty(dirty, at, lim, stats)
+	seq, err := e.applyDirty(dirty, at, lim, stats, sp)
 	if err != nil {
 		// the popped pending events and this arrival's dirty marks are
 		// lost; un-seed so the next evaluation rebuilds from the store
@@ -485,16 +610,22 @@ func (e *Engine) Apply(f *fragment.Fragment, at time.Time, lim xcql.Limits, stat
 // fragment may have orphaned state, so everything is recomputed and
 // everything re-emits (mirroring full mode's reset delta map).
 func (e *Engine) Reseed(at time.Time, lim xcql.Limits, stats *obs.EvalStats) (xq.Sequence, error) {
+	return e.ReseedShared(at, lim, stats, nil)
+}
+
+// ReseedShared is Reseed drawing unit evaluations from a SharedPass
+// (nil for unshared).
+func (e *Engine) ReseedShared(at time.Time, lim xcql.Limits, stats *obs.EvalStats, sp *SharedPass) (xq.Sequence, error) {
 	e.mu.Lock()
 	defer e.mu.Unlock()
-	return e.recomputeAll(at, lim, stats, true)
+	return e.recomputeAll(at, lim, stats, true, sp)
 }
 
 // recomputeAll rebuilds containment and pending state from the store,
 // ensures a unit for everything the store holds, and recomputes every
 // unit. With reseed, the previous-result memory is cleared first so the
 // whole result re-emits as delta.
-func (e *Engine) recomputeAll(at time.Time, lim xcql.Limits, stats *obs.EvalStats, reseed bool) (xq.Sequence, error) {
+func (e *Engine) recomputeAll(at time.Time, lim xcql.Limits, stats *obs.EvalStats, reseed bool, sp *SharedPass) (xq.Sequence, error) {
 	e.rebuildContainment(at)
 	if reseed {
 		e.refcount = make(map[string]int)
@@ -522,7 +653,7 @@ func (e *Engine) recomputeAll(at time.Time, lim xcql.Limits, stats *obs.EvalStat
 	for _, k := range e.order {
 		dirty[k] = true
 	}
-	seq, err := e.applyDirty(dirty, at, lim, stats)
+	seq, err := e.applyDirty(dirty, at, lim, stats, sp)
 	if err != nil {
 		e.seeded = false
 		return nil, err
@@ -668,8 +799,10 @@ func (e *Engine) fallback() {
 // first occurrence across the dirty units, so this reproduces the
 // full-mode diff byte for byte. Phase C swaps the buffers and moves the
 // refcounts.
-func (e *Engine) applyDirty(dirty map[unitKey]bool, at time.Time, lim xcql.Limits, stats *obs.EvalStats) (xq.Sequence, error) {
-	stats.AddHandlerInvocations(len(dirty))
+func (e *Engine) applyDirty(dirty map[unitKey]bool, at time.Time, lim xcql.Limits, stats *obs.EvalStats, sp *SharedPass) (xq.Sequence, error) {
+	// HandlerInvocations is charged in evalUnitShared, once per unit
+	// actually executed: a registry shared-pass hit runs no handler, so
+	// a group of K queries sharing a path reports ~1× handler cost.
 	// the dirty keys in global output order; iterating these instead of
 	// all of e.order keeps the per-arrival cost proportional to what the
 	// arrival touched, not to the store size
@@ -681,7 +814,7 @@ func (e *Engine) applyDirty(dirty map[unitKey]bool, at time.Time, lim xcql.Limit
 	fresh := make(map[unitKey][]entry, len(dirty))
 	counts := make(map[unitKey]int, len(dirty))
 	for _, k := range keys {
-		seq, err := e.evalUnit(k, at, lim, stats)
+		seq, err := e.evalUnitShared(k, at, lim, stats, sp)
 		if err != nil {
 			return nil, err
 		}
@@ -690,7 +823,7 @@ func (e *Engine) applyDirty(dirty map[unitKey]bool, at time.Time, lim xcql.Limit
 		} else {
 			es := make([]entry, len(seq))
 			for i, it := range seq {
-				es[i] = entry{item: it, serial: itemSerial(it)}
+				es[i] = entry{item: it, serial: serialOf(it, sp)}
 			}
 			fresh[k] = es
 		}
@@ -746,6 +879,41 @@ func (e *Engine) applyDirty(dirty map[unitKey]bool, at time.Time, lim xcql.Limit
 	stats.MaxBufferHWMBytes(e.hwm)
 	e.lastAt = at
 	return delta, nil
+}
+
+// evalUnitShared consults the shared pass (when present) before falling
+// through to a real unit evaluation: a hit returns the memoized result
+// of an identical unit already evaluated by another engine in the group
+// this arrival, charging only the shared-hit counter; a miss evaluates
+// and publishes the result for the rest of the group.
+func (e *Engine) evalUnitShared(k unitKey, at time.Time, lim xcql.Limits, stats *obs.EvalStats, sp *SharedPass) (xq.Sequence, error) {
+	if sp == nil {
+		stats.AddHandlerInvocations(1)
+		return e.evalUnit(k, at, lim, stats)
+	}
+	key := e.unitSigKey(k)
+	if seq, err, ok := sp.lookup(key); ok {
+		stats.AddSharedUnitHits(1)
+		return seq, err
+	}
+	stats.AddHandlerInvocations(1)
+	seq, err := e.evalUnit(k, at, lim, stats)
+	sp.store(key, seq, err)
+	stats.AddSharedUnitMisses(1)
+	return seq, err
+}
+
+// unitSigKey is the SharedPass memo key of one unit: the piece slot's
+// structural signature plus the filler id the unit is bound to (indexed
+// units only; generic units evaluate the whole sub-plan and carry no
+// filler binding).
+func (e *Engine) unitSigKey(k unitKey) string {
+	p := e.pieces[k.piece]
+	arg := k.arg
+	if !p.indexed() {
+		arg = 0
+	}
+	return p.sig(arg, e.stream, !e.countMode) + "#" + fmt.Sprint(k.fid)
 }
 
 // evalUnit computes one unit's current output through the engine's own
@@ -833,6 +1001,36 @@ func (e *Engine) BufferHWMBytes() int64 {
 	e.mu.Lock()
 	defer e.mu.Unlock()
 	return e.hwm
+}
+
+// Store returns the fragment store the engine bound to, or nil when the
+// plan mentions no single stream. The registry uses pointer identity to
+// decide which engines may share a pass.
+func (e *Engine) Store() *fragment.Store {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.store
+}
+
+// UnitSignatures lists the structural signatures of the engine's piece
+// slots (one per indexed fn:bytsid argument, one per generic piece), in
+// plan order. The registry refcounts these across the queries of a
+// shared group: a signature held by K queries is evaluated once per
+// arrival and shared K ways.
+func (e *Engine) UnitSignatures() []string {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	var sigs []string
+	for _, p := range e.pieces {
+		if p.indexed() {
+			for ai := range p.tsids {
+				sigs = append(sigs, p.sig(ai, e.stream, !e.countMode))
+			}
+		} else {
+			sigs = append(sigs, p.sig(0, e.stream, !e.countMode))
+		}
+	}
+	return sigs
 }
 
 // Strategy describes how the plan decomposed, for EXPLAIN-style output:

@@ -1,0 +1,264 @@
+package registry
+
+// Churn/soak: the registry must survive concurrent register/unregister/
+// resubscribe while fragments arrive over a faulty wire. Pinned here:
+// no goroutine leaks after everything closes, no deliveries to a
+// registration after its Close returns (no cross-subscriber bleed), and
+// admission trips surface as typed OverloadError on the registration
+// that hit the cap without wedging the shared group for everyone else.
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"net"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"xcql/internal/fragment"
+	"xcql/internal/stream"
+	"xcql/internal/tagstruct"
+	"xcql/internal/xcql"
+	"xcql/internal/xmldom"
+)
+
+const churnStructureXML = `<stream:structure>
+<tag type="snapshot" id="1" name="log">
+  <tag type="event" id="2" name="event"/>
+</tag>
+</stream:structure>`
+
+func churnStructure(t *testing.T) *tagstruct.Structure {
+	t.Helper()
+	s, err := tagstruct.ParseString(churnStructureXML)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func churnEl(t *testing.T, src string) *xmldom.Node {
+	t.Helper()
+	doc, err := xmldom.ParseString(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return doc.Root()
+}
+
+// assertNoGoroutineLeak polls until the goroutine count returns to the
+// baseline (same contract as the stream package's leak suite).
+func assertNoGoroutineLeak(t *testing.T, baseline int) {
+	t.Helper()
+	deadline := time.Now().Add(3 * time.Second)
+	var n int
+	for time.Now().Before(deadline) {
+		runtime.GC()
+		n = runtime.NumGoroutine()
+		if n <= baseline+2 {
+			return
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	buf := make([]byte, 1<<20)
+	buf = buf[:runtime.Stack(buf, true)]
+	t.Fatalf("goroutine leak: %d running, baseline %d\n%s", n, baseline, buf)
+}
+
+func TestRegistryChurnUnderFire(t *testing.T) {
+	baseline := runtime.NumGoroutine()
+
+	const (
+		events  = 300
+		workers = 6
+		seed    = 7
+	)
+
+	// publish fire over a deliberately faulty wire: drops, dups,
+	// reorders and mid-frame resets, all from a seeded plan
+	srv := stream.NewServer("log", churnStructure(t))
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	inj := stream.NewFaultInjector(stream.FaultPlan{
+		Seed:        seed,
+		DropProb:    0.10,
+		DupProb:     0.05,
+		ReorderProb: 0.05,
+		ResetEvery:  13,
+	})
+	go func() { _ = stream.ServeTCPOptions(srv, ln, stream.ServeOptions{Faults: inj}) }()
+	client, err := stream.Dial(ln.Addr().String(), stream.DialOptions{
+		Reconnect:      true,
+		InitialBackoff: 5 * time.Millisecond,
+		MaxBackoff:     100 * time.Millisecond,
+		Rand:           rand.New(rand.NewSource(seed)),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	reg := New(nil)
+	reg.AttachClient(client)
+
+	rt := xcql.NewRuntime()
+	rt.RegisterStream("log", client.Store())
+	queries := []string{
+		`for $e in stream("log")//event return $e`,
+		`count(stream("log")//event)`,
+		`for $e in stream("log")//event where $e > 100 return $e`,
+	}
+
+	// churn workers: register, soak a few deliveries, close, resubscribe
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	bleeds := make([]int64, workers)
+	for w := 0; w < workers; w++ {
+		w := w
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(int64(seed + w)))
+			for cycle := 0; ; cycle++ {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				q, err := rt.Compile(queries[(w+cycle)%len(queries)], xcql.QaCPlus)
+				if err != nil {
+					t.Errorf("worker %d: compile: %v", w, err)
+					return
+				}
+				var closed atomic.Bool
+				r, err := reg.Register(q, Options{
+					Incremental: (w+cycle)%2 == 0,
+					OnResult: func(Result) {
+						if closed.Load() {
+							atomic.AddInt64(&bleeds[w], 1)
+						}
+					},
+				})
+				if err != nil {
+					t.Errorf("worker %d: register: %v", w, err)
+					return
+				}
+				time.Sleep(time.Duration(rng.Intn(8)) * time.Millisecond)
+				r.Close()
+				// Close can race at most the Apply pass whose member
+				// snapshot predates it; Evaluate serializes on the same
+				// evaluation lock, so once it returns any such pass has
+				// drained and every later delivery is a bleed
+				reg.Evaluate()
+				closed.Store(true)
+			}
+		}()
+	}
+
+	// the publisher: root snapshot announcing holes, then event fillers
+	var holes string
+	base := time.Date(2003, time.June, 1, 0, 0, 0, 0, time.UTC)
+	for i := 0; i < events; i++ {
+		fid := 100 + i
+		holes += fmt.Sprintf(`<hole id="%d" tsid="2"/>`, fid)
+		srv.Publish(fragment.New(0, 1, base.Add(time.Duration(i)*time.Second),
+			churnEl(t, `<log>`+holes+`</log>`)))
+		srv.Publish(fragment.New(fid, 2, base.Add(time.Duration(i)*time.Second),
+			churnEl(t, fmt.Sprintf(`<event>%d</event>`, i))))
+		if i%16 == 0 {
+			time.Sleep(time.Millisecond)
+		}
+	}
+
+	close(stop)
+	wg.Wait()
+	for w, n := range bleeds {
+		if n > 0 {
+			t.Errorf("worker %d: %d deliveries after Close returned (cross-subscriber bleed)", w, n)
+		}
+	}
+	if got := reg.Stats().Registrations; got != 0 {
+		t.Errorf("registrations still live after churn: %d", got)
+	}
+	if got := len(reg.Groups()); got != 0 {
+		t.Errorf("groups still live after churn: %d", got)
+	}
+
+	srv.Close()
+	client.Close()
+	ln.Close()
+	assertNoGoroutineLeak(t, baseline)
+}
+
+// Admission trips must be a per-registration typed error, not a group
+// failure: with the cap reached, new registrations get OverloadError
+// while existing members keep evaluating and delivering.
+func TestRegistryAdmissionOverload(t *testing.T) {
+	structure := churnStructure(t)
+	st := fragment.NewStore(structure)
+	base := time.Date(2003, time.June, 1, 0, 0, 0, 0, time.UTC)
+	add := func(f *fragment.Fragment) {
+		t.Helper()
+		if err := st.Add(f); err != nil {
+			t.Fatal(err)
+		}
+	}
+	add(fragment.New(0, 1, base, churnEl(t, `<log><hole id="100" tsid="2"/><hole id="101" tsid="2"/></log>`)))
+	add(fragment.New(100, 2, base, churnEl(t, `<event>1</event>`)))
+
+	rt := xcql.NewRuntime()
+	rt.RegisterStream("log", st)
+	q := rt.MustCompile(`for $e in stream("log")//event return $e`, xcql.QaCPlus)
+
+	at := base
+	reg := New(func() time.Time { return at })
+	reg.SetMaxRegistrations(2)
+
+	var delivered [2]int64
+	var live [2]*Registration
+	for i := range live {
+		i := i
+		r, err := reg.Register(q, Options{
+			Incremental: true,
+			OnResult:    func(Result) { atomic.AddInt64(&delivered[i], 1) },
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		live[i] = r
+	}
+
+	// the third registration trips admission with a typed error...
+	_, err := reg.Register(q, Options{Incremental: true, OnResult: func(Result) {}})
+	var over *xcql.OverloadError
+	if !errors.As(err, &over) {
+		t.Fatalf("want *xcql.OverloadError, got %v", err)
+	}
+	if over.Active != 2 || over.Max != 2 {
+		t.Fatalf("overload should carry the admission state, got %+v", over)
+	}
+	if got := reg.Stats().Overloads; got != 1 {
+		t.Fatalf("Overloads counter = %d, want 1", got)
+	}
+
+	// ...and the shared group keeps flowing for the admitted members
+	f := fragment.New(101, 2, base.Add(time.Second), churnEl(t, `<event>2</event>`))
+	add(f)
+	at = f.ValidTime
+	reg.Apply(f)
+	for i := range live {
+		if atomic.LoadInt64(&delivered[i]) == 0 {
+			t.Errorf("admitted registration %d received nothing after the overload trip", i)
+		}
+		live[i].Close()
+	}
+
+	// a slot freed by Close admits again
+	if _, err := reg.Register(q, Options{Incremental: true, OnResult: func(Result) {}}); err != nil {
+		t.Fatalf("register after slots freed: %v", err)
+	}
+}

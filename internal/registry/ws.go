@@ -1,0 +1,448 @@
+package registry
+
+// Minimal server-side RFC 6455 WebSocket: handshake, single-frame text
+// messages, ping/pong, close. Hand-rolled because the module's only
+// dependency is the Go standard library — the subset here (no
+// extensions, no fragmentation, no client role) is all the subscribe
+// API needs, and the frame reader is fuzzed (FuzzQueryAPIRequest)
+// against arbitrary bytes.
+
+import (
+	"bufio"
+	"crypto/sha1"
+	"encoding/base64"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"strings"
+	"sync"
+	"time"
+)
+
+// websocketGUID is the fixed handshake GUID from RFC 6455 §1.3.
+const websocketGUID = "258EAFA5-E914-47DA-95CA-C5AB0DC85B11"
+
+// wsMaxPayload bounds one client frame; subscribe/register requests are
+// small, so anything larger is hostile or broken.
+const wsMaxPayload = 1 << 20
+
+// WebSocket opcodes (RFC 6455 §5.2).
+const (
+	opContinuation = 0x0
+	opText         = 0x1
+	opBinary       = 0x2
+	opClose        = 0x8
+	opPing         = 0x9
+	opPong         = 0xA
+)
+
+var errWSClosed = errors.New("websocket: connection closed")
+
+// wsAcceptKey computes the Sec-WebSocket-Accept handshake proof.
+func wsAcceptKey(key string) string {
+	h := sha1.Sum([]byte(key + websocketGUID))
+	return base64.StdEncoding.EncodeToString(h[:])
+}
+
+// headerHasToken reports whether a comma-separated header value
+// contains the token (case-insensitive) — Connection headers routinely
+// carry "keep-alive, Upgrade".
+func headerHasToken(h http.Header, name, token string) bool {
+	for _, v := range h.Values(name) {
+		for _, part := range strings.Split(v, ",") {
+			if strings.EqualFold(strings.TrimSpace(part), token) {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// wsConn is one upgraded connection. Reads are single-goroutine (the
+// API's receive loop); writes are mutex-serialized so the result pump
+// and pong replies can interleave safely.
+type wsConn struct {
+	conn net.Conn
+	br   *bufio.Reader
+
+	wmu sync.Mutex
+}
+
+// wsUpgrade performs the server handshake and hijacks the connection.
+// On failure it writes the HTTP error itself and returns nil.
+func wsUpgrade(w http.ResponseWriter, r *http.Request) *wsConn {
+	if r.Method != http.MethodGet {
+		httpError(w, http.StatusMethodNotAllowed, "method", "subscribe requires GET")
+		return nil
+	}
+	if !headerHasToken(r.Header, "Connection", "upgrade") || !headerHasToken(r.Header, "Upgrade", "websocket") {
+		httpError(w, http.StatusBadRequest, "handshake", "not a websocket upgrade request")
+		return nil
+	}
+	key := r.Header.Get("Sec-WebSocket-Key")
+	if key == "" {
+		httpError(w, http.StatusBadRequest, "handshake", "missing Sec-WebSocket-Key")
+		return nil
+	}
+	hj, ok := w.(http.Hijacker)
+	if !ok {
+		httpError(w, http.StatusInternalServerError, "handshake", "connection cannot be hijacked")
+		return nil
+	}
+	conn, rw, err := hj.Hijack()
+	if err != nil {
+		httpError(w, http.StatusInternalServerError, "handshake", err.Error())
+		return nil
+	}
+	resp := "HTTP/1.1 101 Switching Protocols\r\n" +
+		"Upgrade: websocket\r\n" +
+		"Connection: Upgrade\r\n" +
+		"Sec-WebSocket-Accept: " + wsAcceptKey(key) + "\r\n\r\n"
+	if _, err := conn.Write([]byte(resp)); err != nil {
+		conn.Close()
+		return nil
+	}
+	return &wsConn{conn: conn, br: rw.Reader}
+}
+
+// writeFrame writes one unmasked (server→client) frame.
+func (c *wsConn) writeFrame(opcode byte, payload []byte) error {
+	c.wmu.Lock()
+	defer c.wmu.Unlock()
+	var hdr [10]byte
+	hdr[0] = 0x80 | opcode // FIN, no extensions
+	n := 2
+	switch {
+	case len(payload) < 126:
+		hdr[1] = byte(len(payload))
+	case len(payload) < 1<<16:
+		hdr[1] = 126
+		binary.BigEndian.PutUint16(hdr[2:4], uint16(len(payload)))
+		n = 4
+	default:
+		hdr[1] = 127
+		binary.BigEndian.PutUint64(hdr[2:10], uint64(len(payload)))
+		n = 10
+	}
+	if _, err := c.conn.Write(hdr[:n]); err != nil {
+		return err
+	}
+	_, err := c.conn.Write(payload)
+	return err
+}
+
+// WriteText sends one text message.
+func (c *wsConn) WriteText(payload []byte) error { return c.writeFrame(opText, payload) }
+
+// Close sends a close frame (best-effort) and closes the connection.
+func (c *wsConn) Close() error {
+	_ = c.writeFrame(opClose, nil)
+	return c.conn.Close()
+}
+
+// ReadMessage reads the next text or binary message, transparently
+// answering pings and returning errWSClosed on a close frame. Control
+// frames interleaved between data frames are handled; fragmented data
+// frames are rejected (the API's messages are single-frame by
+// construction).
+func (c *wsConn) ReadMessage() ([]byte, error) {
+	for {
+		opcode, payload, err := readWSFrame(c.br, wsMaxPayload)
+		if err != nil {
+			return nil, err
+		}
+		switch opcode {
+		case opText, opBinary:
+			return payload, nil
+		case opPing:
+			if err := c.writeFrame(opPong, payload); err != nil {
+				return nil, err
+			}
+		case opPong:
+			// unsolicited pong: ignore
+		case opClose:
+			_ = c.writeFrame(opClose, nil)
+			return nil, errWSClosed
+		default:
+			return nil, fmt.Errorf("websocket: unsupported opcode %#x", opcode)
+		}
+	}
+}
+
+// readWSFrame decodes one client frame. It is deliberately strict —
+// reserved bits, unmasked client frames, fragmentation and oversized
+// payloads are all errors, never panics: the fuzz target feeds this
+// arbitrary bytes.
+func readWSFrame(br *bufio.Reader, maxPayload int64) (opcode byte, payload []byte, err error) {
+	var hdr [2]byte
+	if _, err := io.ReadFull(br, hdr[:]); err != nil {
+		return 0, nil, err
+	}
+	fin := hdr[0]&0x80 != 0
+	if hdr[0]&0x70 != 0 {
+		return 0, nil, errors.New("websocket: reserved bits set")
+	}
+	opcode = hdr[0] & 0x0F
+	if opcode == opContinuation || !fin {
+		return 0, nil, errors.New("websocket: fragmented frames not supported")
+	}
+	masked := hdr[1]&0x80 != 0
+	if !masked {
+		return 0, nil, errors.New("websocket: client frame not masked")
+	}
+	length := int64(hdr[1] & 0x7F)
+	switch length {
+	case 126:
+		var ext [2]byte
+		if _, err := io.ReadFull(br, ext[:]); err != nil {
+			return 0, nil, err
+		}
+		length = int64(binary.BigEndian.Uint16(ext[:]))
+	case 127:
+		var ext [8]byte
+		if _, err := io.ReadFull(br, ext[:]); err != nil {
+			return 0, nil, err
+		}
+		u := binary.BigEndian.Uint64(ext[:])
+		if u > uint64(maxPayload) {
+			return 0, nil, fmt.Errorf("websocket: frame of %d bytes exceeds limit", u)
+		}
+		length = int64(u)
+	}
+	if length > maxPayload {
+		return 0, nil, fmt.Errorf("websocket: frame of %d bytes exceeds limit", length)
+	}
+	if opcode >= opClose && length > 125 {
+		return 0, nil, errors.New("websocket: oversized control frame")
+	}
+	var mask [4]byte
+	if _, err := io.ReadFull(br, mask[:]); err != nil {
+		return 0, nil, err
+	}
+	payload = make([]byte, length)
+	if _, err := io.ReadFull(br, payload); err != nil {
+		return 0, nil, err
+	}
+	for i := range payload {
+		payload[i] ^= mask[i&3]
+	}
+	return opcode, payload, nil
+}
+
+// wsClient is the test/cmd-side counterpart: dial, handshake, and
+// exchange single-frame text messages. Client frames are masked as the
+// RFC requires; the mask is derived from a counter — predictability is
+// fine, the mask exists to defeat proxy cache poisoning, not for
+// secrecy.
+type wsClient struct {
+	conn net.Conn
+	br   *bufio.Reader
+	ctr  uint32
+	wmu  sync.Mutex
+}
+
+// wsDial connects to url (http://host/path form) and performs the
+// client handshake.
+func wsDial(rawURL string, timeout time.Duration) (*wsClient, error) {
+	trimmed := strings.TrimPrefix(strings.TrimPrefix(rawURL, "ws://"), "http://")
+	slash := strings.IndexByte(trimmed, '/')
+	host, path := trimmed, "/"
+	if slash >= 0 {
+		host, path = trimmed[:slash], trimmed[slash:]
+	}
+	conn, err := net.DialTimeout("tcp", host, timeout)
+	if err != nil {
+		return nil, err
+	}
+	key := base64.StdEncoding.EncodeToString([]byte("xcql-subscribe16")) // static nonce: the accept check is structural
+	req := "GET " + path + " HTTP/1.1\r\n" +
+		"Host: " + host + "\r\n" +
+		"Upgrade: websocket\r\n" +
+		"Connection: Upgrade\r\n" +
+		"Sec-WebSocket-Key: " + key + "\r\n" +
+		"Sec-WebSocket-Version: 13\r\n\r\n"
+	if _, err := conn.Write([]byte(req)); err != nil {
+		conn.Close()
+		return nil, err
+	}
+	br := bufio.NewReader(conn)
+	status, err := br.ReadString('\n')
+	if err != nil {
+		conn.Close()
+		return nil, err
+	}
+	if !strings.Contains(status, "101") {
+		conn.Close()
+		return nil, fmt.Errorf("websocket: handshake rejected: %s", strings.TrimSpace(status))
+	}
+	accepted := false
+	for {
+		line, err := br.ReadString('\n')
+		if err != nil {
+			conn.Close()
+			return nil, err
+		}
+		line = strings.TrimSpace(line)
+		if line == "" {
+			break
+		}
+		if k, v, ok := strings.Cut(line, ":"); ok &&
+			strings.EqualFold(strings.TrimSpace(k), "Sec-WebSocket-Accept") &&
+			strings.TrimSpace(v) == wsAcceptKey(key) {
+			accepted = true
+		}
+	}
+	if !accepted {
+		conn.Close()
+		return nil, errors.New("websocket: missing or wrong Sec-WebSocket-Accept")
+	}
+	return &wsClient{conn: conn, br: br}, nil
+}
+
+// WriteText sends one masked text frame.
+func (c *wsClient) WriteText(payload []byte) error {
+	c.wmu.Lock()
+	defer c.wmu.Unlock()
+	c.ctr++
+	var mask [4]byte
+	binary.BigEndian.PutUint32(mask[:], c.ctr*2654435761)
+	var hdr [14]byte
+	hdr[0] = 0x80 | opText
+	n := 2
+	switch {
+	case len(payload) < 126:
+		hdr[1] = 0x80 | byte(len(payload))
+	case len(payload) < 1<<16:
+		hdr[1] = 0x80 | 126
+		binary.BigEndian.PutUint16(hdr[2:4], uint16(len(payload)))
+		n = 4
+	default:
+		hdr[1] = 0x80 | 127
+		binary.BigEndian.PutUint64(hdr[2:10], uint64(len(payload)))
+		n = 10
+	}
+	copy(hdr[n:], mask[:])
+	n += 4
+	masked := make([]byte, len(payload))
+	for i, b := range payload {
+		masked[i] = b ^ mask[i&3]
+	}
+	if _, err := c.conn.Write(hdr[:n]); err != nil {
+		return err
+	}
+	_, err := c.conn.Write(masked)
+	return err
+}
+
+// ReadMessage reads the next server text message (server frames are
+// unmasked).
+func (c *wsClient) ReadMessage() ([]byte, error) {
+	for {
+		var hdr [2]byte
+		if _, err := io.ReadFull(c.br, hdr[:]); err != nil {
+			return nil, err
+		}
+		opcode := hdr[0] & 0x0F
+		length := int64(hdr[1] & 0x7F)
+		switch length {
+		case 126:
+			var ext [2]byte
+			if _, err := io.ReadFull(c.br, ext[:]); err != nil {
+				return nil, err
+			}
+			length = int64(binary.BigEndian.Uint16(ext[:]))
+		case 127:
+			var ext [8]byte
+			if _, err := io.ReadFull(c.br, ext[:]); err != nil {
+				return nil, err
+			}
+			length = int64(binary.BigEndian.Uint64(ext[:]))
+		}
+		if length > wsMaxPayload {
+			return nil, fmt.Errorf("websocket: frame of %d bytes exceeds limit", length)
+		}
+		payload := make([]byte, length)
+		if _, err := io.ReadFull(c.br, payload); err != nil {
+			return nil, err
+		}
+		switch opcode {
+		case opText, opBinary:
+			return payload, nil
+		case opPing:
+			// server pings are unexpected in this protocol; answer anyway
+			_ = c.writePong(payload)
+		case opClose:
+			return nil, errWSClosed
+		}
+	}
+}
+
+func (c *wsClient) writePong(payload []byte) error {
+	c.wmu.Lock()
+	defer c.wmu.Unlock()
+	var mask [4]byte
+	hdr := []byte{0x80 | opPong, 0x80 | byte(len(payload))}
+	hdr = append(hdr, mask[:]...)
+	if _, err := c.conn.Write(hdr); err != nil {
+		return err
+	}
+	_, err := c.conn.Write(payload)
+	return err
+}
+
+// Close closes the client connection.
+func (c *wsClient) Close() error { return c.conn.Close() }
+
+// DialSubscribe is the exported client entry (cmd/xcqlsub and tests):
+// dial the API, register the query over the socket, and return a
+// receive function yielding decoded results.
+func DialSubscribe(addr string, req RegisterRequest, timeout time.Duration) (*Subscriber, error) {
+	c, err := wsDial("http://"+addr+"/v1/subscribe", timeout)
+	if err != nil {
+		return nil, err
+	}
+	msg, err := encodeJSON(req)
+	if err != nil {
+		c.Close()
+		return nil, err
+	}
+	if err := c.WriteText(msg); err != nil {
+		c.Close()
+		return nil, err
+	}
+	first, err := c.ReadMessage()
+	if err != nil {
+		c.Close()
+		return nil, err
+	}
+	ack, err := decodeAck(first)
+	if err != nil {
+		c.Close()
+		return nil, err
+	}
+	return &Subscriber{c: c, ID: ack.ID, Group: ack.Group}, nil
+}
+
+// Subscriber is a live query-and-subscribe connection.
+type Subscriber struct {
+	c *wsClient
+	// ID is the server-side registration id.
+	ID int64
+	// Group is the registration's sharing-group signature.
+	Group string
+}
+
+// Next blocks for the next result frame.
+func (s *Subscriber) Next() (WireResult, error) {
+	msg, err := s.c.ReadMessage()
+	if err != nil {
+		return WireResult{}, err
+	}
+	return decodeWireResult(msg)
+}
+
+// Close tears the subscription down (the server unregisters the query).
+func (s *Subscriber) Close() error { return s.c.Close() }

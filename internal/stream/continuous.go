@@ -385,10 +385,13 @@ func (cq *ContinuousQuery) ResetDelta() {
 	cq.needReseed = true
 }
 
-// governedFailure classifies an evaluation error as resource governance
+// GovernedFailure classifies an evaluation error as resource governance
 // (budget trip, deadline, overload rejection) and renders the
-// degradation reason.
-func governedFailure(err error) (string, bool) {
+// degradation reason. Exported so the query registry degrades its
+// registrations with exactly the wording an independent ContinuousQuery
+// would use — the registry-equivalence harness compares them byte for
+// byte.
+func GovernedFailure(err error) (string, bool) {
 	var re *budget.ResourceError
 	if errors.As(err, &re) {
 		return "degraded: evaluation aborted: " + re.Error(), true
@@ -400,9 +403,16 @@ func governedFailure(err error) (string, bool) {
 	return "", false
 }
 
-func itemKey(it xq.Item) string {
+func governedFailure(err error) (string, bool) { return GovernedFailure(err) }
+
+// ItemKey is the delta identity of one result item — the serialization
+// both full-mode continuous queries and the registry diff consecutive
+// results by. One definition, shared, so the two can never drift.
+func ItemKey(it xq.Item) string {
 	if n, ok := it.(*xmldom.Node); ok {
 		return n.String()
 	}
 	return xq.StringValue(it)
 }
+
+func itemKey(it xq.Item) string { return ItemKey(it) }

@@ -34,11 +34,13 @@ import (
 	"fmt"
 	"net"
 	"strings"
+	"sync"
 	"time"
 
 	"xcql/internal/budget"
 	"xcql/internal/fragment"
 	"xcql/internal/obs"
+	"xcql/internal/registry"
 	"xcql/internal/segstore"
 	"xcql/internal/stream"
 	"xcql/internal/tagstruct"
@@ -187,6 +189,34 @@ type (
 	// Compactor runs registered maintenance steps (in-memory coalescing,
 	// durable compaction, snapshots) on one background goroutine.
 	Compactor = fragment.Compactor
+	// QueryRegistry is the multi-tenant standing-query registry: it
+	// groups registered queries by access path and evaluates each
+	// shared path once per arriving fragment, fanning per-registration
+	// deltas out. Engine.Registry returns the engine's registry.
+	QueryRegistry = registry.Registry
+	// QueryRegistration is one standing query's handle in a
+	// QueryRegistry: consume results, inspect degradation, Close to
+	// unregister.
+	QueryRegistration = registry.Registration
+	// RegistryOptions configures one registration (incremental mode,
+	// limits, delivery).
+	RegistryOptions = registry.Options
+	// RegistryResult is one delivery to a registration: the arrival's
+	// delta, or a degradation/error.
+	RegistryResult = registry.Result
+	// RegistryStats is a snapshot of a QueryRegistry's sharing counters.
+	RegistryStats = registry.Stats
+	// RegistryGroupStats is a snapshot of one sharing group.
+	RegistryGroupStats = registry.GroupStats
+	// RegistrationStats is a snapshot of one registration's counters.
+	RegistrationStats = registry.RegStats
+	// QueryAPI is the HTTP + WebSocket front of a QueryRegistry:
+	// register XCQL text over HTTP, stream JSON deltas over a
+	// hand-rolled RFC 6455 WebSocket. It is an http.Handler.
+	QueryAPI = registry.API
+	// ResultCodec encodes registry results for the wire; JSON is built
+	// in, alternative codecs plug into QueryAPI.RegisterCodec.
+	ResultCodec = registry.Codec
 	// DateTime is a time point, possibly the symbolic start or now.
 	DateTime = xtime.DateTime
 	// Duration is an ISO-8601 duration (PnYnMnDTnHnMnS).
@@ -231,10 +261,31 @@ func ParseMode(s string) (Mode, error) { return ixcql.ParseMode(s) }
 // them. It is safe for concurrent use.
 type Engine struct {
 	rt *ixcql.Runtime
+
+	regOnce sync.Once
+	reg     *registry.Registry
 }
 
 // NewEngine returns an empty engine.
 func NewEngine() *Engine { return &Engine{rt: ixcql.NewRuntime()} }
+
+// Registry returns the engine's standing-query registry (created on
+// first use): register compiled queries with QueryRegistry.Register,
+// feed arrivals with QueryRegistry.Apply (or AttachClient/AttachServer),
+// and each shared access path evaluates once per arrival regardless of
+// how many registrations read it.
+func (e *Engine) Registry() *QueryRegistry {
+	e.regOnce.Do(func() { e.reg = registry.New(nil) })
+	return e.reg
+}
+
+// ServeQueryAPI returns an http.Handler exposing the engine's registry
+// as a query-and-subscribe service: POST /v1/query registers XCQL text,
+// GET /v1/subscribe streams JSON deltas over WebSocket, POST /v1/eval
+// runs one-shot queries, GET /v1/registryz reports sharing stats.
+func (e *Engine) ServeQueryAPI() *QueryAPI {
+	return registry.NewAPI(e.Registry(), e.Compile)
+}
 
 // Runtime exposes the underlying compiler runtime for advanced use.
 func (e *Engine) Runtime() *ixcql.Runtime { return e.rt }
