@@ -2,9 +2,9 @@
 GO       ?= go
 FUZZTIME ?= 10s
 
-.PHONY: check vet static build test race race-stream test-recovery test-diffharness test-diffharness-incremental test-registry fuzz-smoke bench bench-json bench-diff bench-diff-smoke
+.PHONY: check vet static build test race race-stream test-recovery test-diffharness test-diffharness-incremental test-registry trace-smoke fuzz-smoke bench bench-json bench-diff bench-diff-smoke
 
-check: vet static build race race-stream test-recovery test-diffharness test-diffharness-incremental test-registry bench-diff-smoke fuzz-smoke
+check: vet static build race race-stream test-recovery test-diffharness test-diffharness-incremental test-registry trace-smoke bench-diff-smoke fuzz-smoke
 
 vet:
 	$(GO) vet ./...
@@ -63,6 +63,13 @@ test-registry:
 	$(GO) test -race -run '^(TestRegistryEquivalence|TestRegistrySharedCostMonotonic)$$' -timeout 600s .
 	$(GO) test -race -run '^(TestRegistryChurnUnderFire|TestRegistryAdmissionOverload)$$' -timeout 120s ./internal/registry
 
+# End-to-end tracing acceptance: a chaos burst with the flight recorder
+# attached at every layer must produce a complete publish→fsync→eval→
+# fan-out→delivery span tree under one trace id, survive a forced
+# reconnect, and leak no goroutines — all under the race detector.
+trace-smoke:
+	$(GO) test -race -run '^TestTraceSmoke$$' -timeout 120s .
+
 # A short deterministic shake of each fuzz target; longer runs are
 # `make fuzz-smoke FUZZTIME=5m`. `-run '^$'` skips the unit tests that
 # already ran under `race`.
@@ -82,11 +89,12 @@ bench:
 # benchmarks (quick scales) as JSON — cost counters and latency quantiles
 # included — the cross-PR performance trajectory. Compare two snapshots
 # with bench-diff.
-BENCHOUT ?= BENCH_pr8.json
+BENCHOUT ?= BENCH_pr9.json
 bench-json:
 	( $(GO) test -run '^$$' -bench '^(BenchmarkFigure4|BenchmarkSelectivity|BenchmarkContinuous|BenchmarkParallelCache|BenchmarkRecovery|BenchmarkSnapshotBootstrap)$$' -benchmem -short . ; \
 	  $(GO) test -run '^$$' -bench '^BenchmarkIncrementalContinuous$$' -benchtime 300x -benchmem -short . ; \
-	  $(GO) test -run '^$$' -bench '^BenchmarkRegistryFanout$$' -benchtime 300x -benchmem -short . ) \
+	  $(GO) test -run '^$$' -bench '^BenchmarkRegistryFanout$$' -benchtime 300x -benchmem -short . ; \
+	  $(GO) test -run '^$$' -bench '^BenchmarkTracePropagation$$' -benchmem -short . ) \
 		| $(GO) run ./cmd/benchjson > $(BENCHOUT)
 
 # Regression table between two snapshots:

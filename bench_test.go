@@ -198,6 +198,49 @@ type collectNothingSink struct{}
 
 func (collectNothingSink) Span(string, string, time.Time, time.Duration) {}
 
+// BenchmarkTracePropagation guards the wire-propagation path the same
+// way BenchmarkTraceOverhead guards the evaluation sink: one fragment
+// published through a broadcast server into a subscriber, with the
+// flight recorder detached (the disabled cell must add zero allocations
+// over the untraced baseline) and attached (the enabled cell prices
+// span recording + trace stamping).
+func BenchmarkTracePropagation(b *testing.B) {
+	structure, err := tagstruct.ParseString(`<stream:structure>
+<tag type="snapshot" id="1" name="sensors">
+  <tag type="event" id="2" name="event">
+    <tag type="snapshot" id="3" name="value"/>
+  </tag>
+</tag>
+</stream:structure>`)
+	if err != nil {
+		b.Fatal(err)
+	}
+	el := xmldom.MustParseString(`<event><value>7</value></event>`).Root()
+	for _, traced := range []bool{false, true} {
+		name := "disabled"
+		if traced {
+			name = "enabled"
+		}
+		b.Run(name, func(b *testing.B) {
+			s := stream.NewServer("sensors", structure)
+			defer s.Close()
+			if traced {
+				// large sampling interval: measure recording, not ring churn
+				s.SetFlightRecorder(obs.NewFlightRecorder(obs.FlightRecorderOptions{SampleEvery: 1 << 20}))
+			}
+			sub := s.Subscribe(4, false)
+			defer sub.Cancel()
+			frag := fragment.New(1, 2, time.Date(2003, 1, 1, 0, 0, 0, 0, time.UTC), el)
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				s.Publish(frag)
+				<-sub.C()
+			}
+		})
+	}
+}
+
 // BenchmarkGranularity compares fragmentation granularities of the same
 // document — §4's "reasonable fragmentation" trade-off. Finer cuts cost
 // wire bytes (reported as metrics) but keep updates small; query time for

@@ -45,6 +45,7 @@ import (
 	"net/http/pprof"
 	"os"
 	"os/signal"
+	"runtime"
 	"time"
 
 	"xcql"
@@ -76,6 +77,7 @@ func main() {
 	serveAddr := flag.String("serve", "", "serve the standing-query API on this address (e.g. 127.0.0.1:9280): register XCQL over HTTP or WebSocket, receive JSON deltas; keeps the demo streaming until interrupted")
 	storeDir := flag.String("store-dir", "", "durable segment store directory: publishes write through to it, the server recovers from it on restart, and reconnecting clients bootstrap from it past the replay window")
 	historyLimit := flag.Int("history", 0, "bound the server's in-memory replay window to this many fragments (0 = unbounded); with -store-dir older positions stay servable from the log")
+	tracez := flag.Bool("tracez", false, "record per-fragment span trees (publish→fsync→eval→fanout→delivery) in a bounded flight recorder; dumps kept traces at the end and serves them at /tracez and /debugz with -metrics")
 	flag.Parse()
 
 	// an interrupt stops the embedded HTTP server gracefully instead of
@@ -90,6 +92,13 @@ func main() {
 
 	structure := xcql.MustParseTagStructure(structureXML)
 	registry := xcql.NewRegistry()
+	// one recorder spans the whole pipeline: a fragment published on the
+	// server side and delivered to the client shows up as a single trace
+	var flight *xcql.FlightRecorder
+	if *tracez {
+		flight = xcql.NewFlightRecorder(xcql.FlightRecorderOptions{SampleEvery: 1})
+		flight.RegisterMetrics(registry, "trace")
+	}
 	var server *xcql.Server
 	var seg *xcql.SegStore
 	if *storeDir != "" {
@@ -116,6 +125,10 @@ func main() {
 		server.SetHistoryLimit(*historyLimit)
 	}
 	server.SetLogger(logger)
+	server.SetFlightRecorder(flight)
+	if seg != nil {
+		seg.SetFlightRecorder(flight)
+	}
 	server.RegisterMetrics(registry, "server")
 
 	ln, err := net.Listen("tcp", "127.0.0.1:0")
@@ -152,6 +165,7 @@ func main() {
 	}
 	defer client.Close()
 	client.SetLogger(logger)
+	client.SetFlightRecorder(flight)
 	client.OnGap(func(g xcql.Gap) { fmt.Printf("  !! %s\n", g) })
 	client.RegisterMetrics(registry, "client")
 	fmt.Printf("client registered with stream %q (structure delivered in the handshake)\n", client.Name())
@@ -173,6 +187,7 @@ func main() {
 		}
 	})
 	cq.SetLogger(logger)
+	cq.SetFlightRecorder(flight)
 	if *incremental {
 		cq.WithIncremental(true)
 		fmt.Printf("incremental evaluation: %s\n", cq.IncrementalStrategy())
@@ -193,7 +208,11 @@ func main() {
 		if err != nil {
 			log.Fatal(err)
 		}
-		querySrv = &http.Server{Handler: engine.ServeQueryAPI()}
+		api := engine.ServeQueryAPI()
+		if flight != nil {
+			api.SetFlightRecorder(flight)
+		}
+		querySrv = &http.Server{Handler: api}
 		go func() { _ = querySrv.Serve(qln) }()
 		go func() {
 			<-ctx.Done()
@@ -229,6 +248,36 @@ func main() {
 		mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
 		mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
 		mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+		if flight != nil {
+			mux.Handle("/tracez", flight)
+		}
+		// /debugz is the one-page "what is this process doing" snapshot:
+		// goroutines, heap, and the flight recorder's retained traces
+		mux.HandleFunc("/debugz", func(w http.ResponseWriter, _ *http.Request) {
+			w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+			fmt.Fprintf(w, "goroutines: %d\n", runtime.NumGoroutine())
+			var ms runtime.MemStats
+			runtime.ReadMemStats(&ms)
+			fmt.Fprintf(w, "heap: %d KiB in use / %d KiB sys, %d GC cycles\n",
+				ms.HeapInuse/1024, ms.Sys/1024, ms.NumGC)
+			if flight == nil {
+				fmt.Fprintln(w, "flight recorder: disabled (run with -tracez)")
+				return
+			}
+			st := flight.Stats()
+			fmt.Fprintf(w, "flight recorder: %d active, %d kept in ring (%d finalized, %d sampled out, %d overwritten), p99 threshold %s\n",
+				st.Active, st.KeptInRing, st.Finalized, st.SampledOut, st.RingDropped,
+				time.Duration(st.ThresholdNs))
+			e2e := flight.E2E().Snapshot()
+			fmt.Fprintf(w, "e2e latency: p50=%s p90=%s p99=%s\n", e2e.Quantile(0.5), e2e.Quantile(0.9), e2e.Quantile(0.99))
+			for _, q := range []float64{0.5, 0.9, 0.99} {
+				if ex := e2e.ExemplarNear(q); ex != 0 {
+					fmt.Fprintf(w, "  p%02.0f exemplar: trace %016x (GET /tracez?trace=%016x)\n", q*100, ex, ex)
+				}
+			}
+			fmt.Fprintln(w)
+			fmt.Fprint(w, flight.Render(10))
+		})
 		mln, err := net.Listen("tcp", *metricsAddr)
 		if err != nil {
 			log.Fatal(err)
@@ -241,7 +290,10 @@ func main() {
 			defer cancel()
 			_ = httpSrv.Shutdown(shCtx)
 		}()
-		fmt.Printf("metrics on http://%s/metrics (health on /statusz, pprof under /debug/pprof/)\n", mln.Addr())
+		fmt.Printf("metrics on http://%s/metrics (health on /statusz, snapshot on /debugz, pprof under /debug/pprof/)\n", mln.Addr())
+		if flight != nil {
+			fmt.Printf("flight recorder on http://%s/tracez (filter with ?trace=, ?stream=, ?tsid=, ?reg=)\n", mln.Addr())
+		}
 	}
 
 	// --- server side: publish the initial document, then events -------------
@@ -329,6 +381,13 @@ func main() {
 	if *incremental {
 		fmt.Printf("incremental buffer: %d bytes standing, %d bytes high-water\n",
 			cq.BufferBytes(), cq.BufferHWMBytes())
+	}
+	if flight != nil {
+		flight.Flush()
+		st := flight.Stats()
+		fmt.Printf("flight recorder: %d trace(s) kept (%d finalized, %d sampled out)\n",
+			st.KeptInRing, st.Finalized, st.SampledOut)
+		fmt.Print(flight.Render(5))
 	}
 	fmt.Println("final metric exposition:")
 	_, _ = registry.WriteTo(os.Stdout)

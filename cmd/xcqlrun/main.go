@@ -52,6 +52,7 @@ func main() {
 	cacheSize := flag.Int("cache", 0, "filler-resolution cache capacity in entries (0 = uncached)")
 	incremental := flag.Bool("incremental", false, "replay the fragment stream through an incremental continuous query, printing per-arrival deltas")
 	storeDir := flag.String("store-dir", "", "durable segment store directory: recovered fragments are ingested before the -fragments file and this run's ingest is write-ahead logged")
+	tracez := flag.Bool("tracez", false, "with -incremental: record a per-arrival span tree (ingest → cq.eval → inc.recompute) in a flight recorder and dump it to stderr at the end")
 	flag.Parse()
 
 	query, err := readQuery(*queryFile, flag.Args())
@@ -122,8 +123,11 @@ func main() {
 		if store == nil {
 			fatal(fmt.Errorf("-incremental needs -structure (and -fragments) to replay"))
 		}
-		runIncremental(q, store, frags, at, *atStr == "now", *showStats)
+		runIncremental(q, store, frags, at, *atStr == "now", *showStats, *tracez)
 		return
+	}
+	if *tracez {
+		fatal(fmt.Errorf("-tracez needs -incremental: spans are recorded per replayed arrival"))
 	}
 	start := time.Now()
 	seq, err := q.Eval(at)
@@ -152,12 +156,18 @@ func main() {
 // through an incremental continuous query. The evaluation clock tracks
 // the running maximum validTime unless an explicit -at pins it.
 func runIncremental(q *xcql.Query, store *fragment.Store, frags []*fragment.Fragment,
-	at time.Time, trackClock bool, showStats bool) {
+	at time.Time, trackClock bool, showStats bool, tracez bool) {
 	clock := at
 	var delta xcql.Sequence
 	cq := xcql.NewContinuousQuery(q, func(r xcql.Result) { delta = r.Delta })
 	cq.Clock = func() time.Time { return clock }
 	cq.WithIncremental(true)
+	var rec *xcql.FlightRecorder
+	if tracez {
+		// keep every trace: a CLI replay is small and the point is the dump
+		rec = xcql.NewFlightRecorder(xcql.FlightRecorderOptions{SampleEvery: 1})
+		cq.SetFlightRecorder(rec)
+	}
 	fmt.Fprintf(os.Stderr, "incremental: %s\n", cq.IncrementalStrategy())
 	start := time.Now()
 	for i, f := range frags {
@@ -168,13 +178,26 @@ func runIncremental(q *xcql.Query, store *fragment.Store, frags []*fragment.Frag
 			clock = f.ValidTime
 		}
 		delta = nil
+		var sp *xcql.Span
+		if rec != nil {
+			sp = rec.Start(rec.NewTrace(), "ingest").Annotate("replay", f.TSID, f.Seq)
+			f = f.WithTrace(sp.Context())
+		}
 		if err := cq.EvaluateFragment(f); err != nil {
 			fatal(err)
+		}
+		if sp != nil {
+			sp.SetDetail(fmt.Sprintf("arrival=%d filler=%d delta=%d", i+1, f.FillerID, len(delta)))
+			sp.End()
 		}
 		if len(delta) > 0 {
 			fmt.Printf("-- arrival %d (filler %d): %d new item(s)\n%s\n",
 				i+1, f.FillerID, len(delta), xcql.FormatSequence(delta))
 		}
+	}
+	if rec != nil {
+		rec.Flush()
+		fmt.Fprint(os.Stderr, rec.Render(0))
 	}
 	elapsed := time.Since(start)
 	snapshot := cq.ItemsSnapshot()

@@ -18,6 +18,7 @@ import (
 	"strconv"
 	"time"
 
+	"xcql/internal/obs"
 	"xcql/internal/xmldom"
 	"xcql/internal/xtime"
 )
@@ -34,6 +35,7 @@ const (
 	AttrTSID      = "tsid"
 	AttrValidTime = "validTime"
 	AttrSeq       = "seq"
+	AttrTrace     = "trace"
 )
 
 // Fragment is one filler as it travels on the stream.
@@ -54,6 +56,14 @@ type Fragment struct {
 	// through an in-process server. It is not part of the wire form
 	// (clock domains differ across hosts), so it does not survive TCP.
 	PublishedAt time.Time
+	// Trace is the distributed-tracing context stamped at Publish, the
+	// zero value when untraced. Unlike PublishedAt it IS on the wire
+	// (AttrTrace, optional — absent on legacy peers): a trace id is a
+	// pure correlation token, so accepting one from a peer only decides
+	// which trace downstream spans join, while every latency the flight
+	// recorder reports comes from its own local clock. Transport
+	// metadata, not part of the Hole-Filler identity.
+	Trace obs.TraceContext
 	// Payload is the single element carried by the filler. The Fragment
 	// owns it; callers must Clone before mutating.
 	Payload *xmldom.Node
@@ -76,6 +86,14 @@ func (f *Fragment) WithSeq(seq uint64) *Fragment {
 	return &g
 }
 
+// WithTrace returns a shallow copy of f stamped with the given trace
+// context (payload shared, like WithSeq).
+func (f *Fragment) WithTrace(tc obs.TraceContext) *Fragment {
+	g := *f
+	g.Trace = tc
+	return &g
+}
+
 // ToXML renders the wire form
 // <filler id="…" tsid="…" validTime="…" seq="…">payload</filler>.
 // The seq attribute is present only on sequenced fragments.
@@ -86,6 +104,9 @@ func (f *Fragment) ToXML() *xmldom.Node {
 	el.SetAttr(AttrValidTime, f.ValidTime.UTC().Format(xtime.Layout))
 	if f.Seq > 0 {
 		el.SetAttr(AttrSeq, strconv.FormatUint(f.Seq, 10))
+	}
+	if f.Trace.Valid() {
+		el.SetAttr(AttrTrace, f.Trace.String())
 	}
 	if f.Payload != nil {
 		el.AppendChild(f.Payload.Clone())
@@ -146,6 +167,16 @@ func FromXML(el *xmldom.Node) (*Fragment, error) {
 	// yields an unstamped fragment — only an in-process server's Publish
 	// stamps it, in the same clock domain that measures it.
 	f.PublishedAt = time.Time{}
+	// The trace attr parses tolerantly: a malformed or missing value
+	// degrades to the untraced zero context, never a decode error, so
+	// legacy peers (no attr) and garbled frames interoperate. Contrast
+	// with PublishedAt above — a trace id can't poison any measurement,
+	// it only chooses which correlation bucket spans land in.
+	if traceStr, ok := el.Attr(AttrTrace); ok {
+		if tc, ok := obs.ParseTraceContext(traceStr); ok {
+			f.Trace = tc
+		}
+	}
 	return f, nil
 }
 

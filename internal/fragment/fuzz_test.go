@@ -19,6 +19,12 @@ func FuzzWireDecode(f *testing.F) {
 	f.Add([]byte(`<filler id="1" tsid="1" validTime="2003-01-02T00:00:00" seq="0"><x/></filler>`))
 	f.Add([]byte(`<notafiller/>`))
 	f.Add([]byte(`<filler id="1" tsid="1" validTime="2003-01-02T00:00:00"><a/><b/></filler>`))
+	// trace-context attr: valid, malformed (tolerated, dropped), zero id
+	// (rejected by ParseTraceContext, dropped), and hostile junk
+	f.Add([]byte(`<filler id="1" tsid="1" validTime="2003-01-02T00:00:00" trace="00000000deadbeef-0000000000000007"><x/></filler>`))
+	f.Add([]byte(`<filler id="1" tsid="1" validTime="2003-01-02T00:00:00" trace="not-a-trace"><x/></filler>`))
+	f.Add([]byte(`<filler id="1" tsid="1" validTime="2003-01-02T00:00:00" trace="0000000000000000-0000000000000000"><x/></filler>`))
+	f.Add([]byte(`<filler id="1" tsid="1" validTime="2003-01-02T00:00:00" trace="ffffffffffffffffffffffffffffffffff"><x/></filler>`))
 	f.Fuzz(func(t *testing.T, data []byte) {
 		frag, err := Parse(string(data))
 		if err != nil {
@@ -32,7 +38,8 @@ func FuzzWireDecode(f *testing.F) {
 			t.Fatalf("re-encoded form does not parse: %v\nwire: %s", err, frag.String())
 		}
 		if again.FillerID != frag.FillerID || again.TSID != frag.TSID ||
-			again.Seq != frag.Seq || !again.ValidTime.Equal(frag.ValidTime) {
+			again.Seq != frag.Seq || !again.ValidTime.Equal(frag.ValidTime) ||
+			again.Trace != frag.Trace {
 			t.Fatalf("round trip drifted:\n first %s\nsecond %s", frag, again)
 		}
 		if again.Payload.String() != frag.Payload.String() {

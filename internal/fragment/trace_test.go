@@ -1,0 +1,97 @@
+package fragment
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"xcql/internal/obs"
+)
+
+func traceFixture(t *testing.T) *Fragment {
+	t.Helper()
+	f, err := Parse(`<filler id="7" tsid="5" validTime="2003-01-02T10:00:00" seq="42"><event><value>33</value></event></filler>`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return f
+}
+
+func TestTraceWireRoundTrip(t *testing.T) {
+	f := traceFixture(t)
+	tc := obs.TraceContext{TraceID: 0xdeadbeefcafe, SpanID: 9}
+	wire := f.WithTrace(tc).String()
+	if !strings.Contains(wire, `trace="0000deadbeefcafe-0000000000000009"`) {
+		t.Fatalf("wire form missing trace attr: %s", wire)
+	}
+	again, err := Parse(wire)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if again.Trace != tc {
+		t.Fatalf("trace round trip: got %+v, want %+v", again.Trace, tc)
+	}
+}
+
+func TestTraceAttrAbsent(t *testing.T) {
+	f := traceFixture(t)
+	if strings.Contains(f.String(), "trace=") {
+		t.Fatalf("untraced fragment emitted a trace attr: %s", f.String())
+	}
+	if f.Trace.Valid() {
+		t.Fatalf("untraced fragment parsed a trace: %+v", f.Trace)
+	}
+}
+
+// TestTraceAttrTolerant pins the interop posture: a malformed or
+// zero-id trace attr from any peer (older, newer, hostile) degrades to
+// an untraced fragment — never a decode error, never a dropped frame.
+func TestTraceAttrTolerant(t *testing.T) {
+	for _, attr := range []string{
+		`trace="garbage"`,
+		`trace=""`,
+		`trace="0000000000000000-0000000000000000"`,
+		`trace="123"`,
+		`trace="xyzw000000000001-0000000000000001"`,
+		`trace="0000000000000001-0000000000000001-0000000000000001"`,
+	} {
+		wire := `<filler id="7" tsid="5" validTime="2003-01-02T10:00:00" ` + attr + `><e/></filler>`
+		f, err := Parse(wire)
+		if err != nil {
+			t.Fatalf("%s: decode error %v, want tolerant parse", attr, err)
+		}
+		if f.Trace.Valid() {
+			t.Fatalf("%s: parsed to %+v, want zero context", attr, f.Trace)
+		}
+	}
+}
+
+// TestTraceDoesNotCarryPublishedAt re-pins the PR-5 security property
+// alongside the new attr: a peer controls its trace id (a pure
+// correlation token) but never the local latency clock.
+func TestTraceDoesNotCarryPublishedAt(t *testing.T) {
+	f := traceFixture(t)
+	f.PublishedAt = time.Now().Add(-time.Hour)
+	tc := obs.TraceContext{TraceID: 1}
+	again, err := Parse(f.WithTrace(tc).String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !again.PublishedAt.IsZero() {
+		t.Fatalf("PublishedAt crossed the wire: %v", again.PublishedAt)
+	}
+	if again.Trace != tc {
+		t.Fatalf("trace did not cross the wire: %+v", again.Trace)
+	}
+}
+
+func TestWithTraceCopies(t *testing.T) {
+	f := traceFixture(t)
+	g := f.WithTrace(obs.TraceContext{TraceID: 5})
+	if f.Trace.Valid() {
+		t.Fatalf("WithTrace mutated the receiver: %+v", f.Trace)
+	}
+	if g.Trace.TraceID != 5 || g.FillerID != f.FillerID || g.Seq != f.Seq {
+		t.Fatalf("WithTrace copy drifted: %+v", g)
+	}
+}

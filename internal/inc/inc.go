@@ -166,6 +166,19 @@ type Engine struct {
 
 	lastTotal float64 // count mode: last emitted total
 	emitted   bool    // count mode: a total has been emitted
+
+	// tracer, when set, records an "inc.recompute" span per traced
+	// arrival (dirty-unit detail included). nil = off.
+	tracer *obs.FlightRecorder
+}
+
+// SetFlightRecorder attaches a flight recorder: traced arrivals record
+// an "inc.recompute" span parented to the fragment's context. nil
+// detaches.
+func (e *Engine) SetFlightRecorder(rec *obs.FlightRecorder) {
+	e.mu.Lock()
+	e.tracer = rec
+	e.mu.Unlock()
 }
 
 // New builds an incremental evaluator for q. It never fails: plans the
@@ -560,9 +573,15 @@ func (e *Engine) Apply(f *fragment.Fragment, at time.Time, lim xcql.Limits, stat
 func (e *Engine) ApplyShared(f *fragment.Fragment, at time.Time, lim xcql.Limits, stats *obs.EvalStats, sp *SharedPass) (xq.Sequence, error) {
 	e.mu.Lock()
 	defer e.mu.Unlock()
+	var rsp *obs.Span
+	if f != nil {
+		rsp = e.tracer.Start(f.Trace, "inc.recompute").Annotate(e.stream, f.TSID, f.Seq)
+	}
+	defer rsp.End()
 	if !e.seeded || at.Before(e.lastAt) {
 		// first evaluation, or a clock regression (visibility may shrink
 		// and popped pending arrivals would be lost): rebuild everything
+		rsp.SetDetail("full-recompute")
 		return e.recomputeAll(at, lim, stats, false, sp)
 	}
 	dirty := make(map[unitKey]bool)
@@ -587,6 +606,7 @@ func (e *Engine) ApplyShared(f *fragment.Fragment, at time.Time, lim xcql.Limits
 			// hole identity turned out ambiguous: permanently stop
 			// decomposing and recompute the whole plan from here on
 			e.fallback()
+			rsp.SetDetail("fallback-full")
 			return e.recomputeAll(at, lim, stats, false, sp)
 		}
 		if f.ValidTime.After(at) {
@@ -594,6 +614,9 @@ func (e *Engine) ApplyShared(f *fragment.Fragment, at time.Time, lim xcql.Limits
 		} else {
 			e.markArrival(f.FillerID, f.TSID, dirty)
 		}
+	}
+	if rsp != nil {
+		rsp.SetDetail(fmt.Sprintf("dirty=%d units=%d", len(dirty), len(e.order)))
 	}
 	seq, err := e.applyDirty(dirty, at, lim, stats, sp)
 	if err != nil {

@@ -30,6 +30,10 @@ type Histogram struct {
 	sum     atomic.Int64
 	max     atomic.Int64
 	buckets [numBuckets]atomic.Int64
+	// exemplars[i] is the trace id of the most recent ObserveExemplar
+	// landing in bucket i (0 = none): "show me a trace behind that p99
+	// bucket" becomes a one-step lookup against the flight recorder.
+	exemplars [numBuckets]atomic.Uint64
 }
 
 // NewHistogram returns an empty histogram.
@@ -58,6 +62,14 @@ func bucketBounds(i int) (lo, hi int64) {
 
 // Observe records one duration. Negative durations count as zero.
 func (h *Histogram) Observe(d time.Duration) {
+	h.ObserveExemplar(d, 0)
+}
+
+// ObserveExemplar records one duration and, when traceID is non-zero,
+// remembers it as the bucket's exemplar. The hot path stays atomic and
+// allocation-free; a zero traceID makes this identical to Observe, so
+// call sites can pass Fragment.Trace.TraceID unconditionally.
+func (h *Histogram) ObserveExemplar(d time.Duration, traceID uint64) {
 	if h == nil {
 		return
 	}
@@ -65,7 +77,11 @@ func (h *Histogram) Observe(d time.Duration) {
 	if ns < 0 {
 		ns = 0
 	}
-	h.buckets[bucketOf(ns)].Add(1)
+	b := bucketOf(ns)
+	h.buckets[b].Add(1)
+	if traceID != 0 {
+		h.exemplars[b].Store(traceID)
+	}
 	h.count.Add(1)
 	h.sum.Add(ns)
 	for {
@@ -116,6 +132,7 @@ func (h *Histogram) Snapshot() HistogramSnapshot {
 	var total int64
 	for i := range h.buckets {
 		s.Buckets[i] = h.buckets[i].Load()
+		s.Exemplars[i] = h.exemplars[i].Load()
 		total += s.Buckets[i]
 	}
 	// the bucket loads race Observe's count.Add; trust the buckets so the
@@ -136,6 +153,7 @@ func (h *Histogram) Reset() {
 	h.max.Store(0)
 	for i := range h.buckets {
 		h.buckets[i].Store(0)
+		h.exemplars[i].Store(0)
 	}
 }
 
@@ -178,6 +196,50 @@ type HistogramSnapshot struct {
 	Sum     int64 // nanoseconds
 	Max     int64 // nanoseconds
 	Buckets [numBuckets]int64
+	// Exemplars[i] is the trace id last observed into bucket i (0 = none).
+	Exemplars [numBuckets]uint64
+}
+
+// ExemplarNear returns the trace id exemplifying the q-quantile: the
+// exemplar of the covering bucket, or failing that the nearest occupied
+// bucket's exemplar (preferring slower buckets, since exemplars exist to
+// explain the tail). Returns 0 when no exemplar has been recorded.
+func (s HistogramSnapshot) ExemplarNear(q float64) uint64 {
+	if s.Count == 0 {
+		return 0
+	}
+	if q < 0 {
+		q = 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	// locate the covering bucket the same way Quantile does
+	rank := q * float64(s.Count-1)
+	cover := numBuckets - 1
+	var cum int64
+	for i, n := range s.Buckets {
+		if n == 0 {
+			continue
+		}
+		if rank < float64(cum+n) {
+			cover = i
+			break
+		}
+		cum += n
+	}
+	if s.Exemplars[cover] != 0 {
+		return s.Exemplars[cover]
+	}
+	for d := 1; d < numBuckets; d++ {
+		if i := cover + d; i < numBuckets && s.Exemplars[i] != 0 {
+			return s.Exemplars[i]
+		}
+		if i := cover - d; i >= 0 && s.Exemplars[i] != 0 {
+			return s.Exemplars[i]
+		}
+	}
+	return 0
 }
 
 // Mean returns the arithmetic mean (0 when empty).

@@ -270,33 +270,89 @@ type SpanRecord struct {
 	Dur    time.Duration
 }
 
-// CollectorSink accumulates spans in memory; cmd/xcqlrun -trace uses it
-// to dump a query timeline after the run.
+// DefaultCollectorCapacity is the span bound a zero-value CollectorSink
+// adopts on first use.
+const DefaultCollectorCapacity = 4096
+
+// CollectorSink accumulates spans in a bounded in-memory ring;
+// cmd/xcqlrun -trace uses it to dump a query timeline after the run.
+// When the ring is full the oldest span is overwritten and Dropped
+// increments, so a long -trace run holds a window of recent spans
+// instead of growing without bound. The zero value is ready to use with
+// DefaultCollectorCapacity; SetCapacity adjusts the bound.
 type CollectorSink struct {
-	mu    sync.Mutex
-	spans []SpanRecord
+	mu      sync.Mutex
+	cap     int
+	spans   []SpanRecord // ring storage; write position is next once full
+	next    int
+	dropped int64
+}
+
+// SetCapacity bounds the ring to n spans (n <= 0 restores the default),
+// dropping the oldest collected spans if more than n are held.
+func (c *CollectorSink) SetCapacity(n int) {
+	if n <= 0 {
+		n = DefaultCollectorCapacity
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	ordered := c.orderedLocked()
+	if len(ordered) > n {
+		c.dropped += int64(len(ordered) - n)
+		ordered = ordered[len(ordered)-n:]
+	}
+	c.cap = n
+	c.spans = ordered
+	c.next = 0
+}
+
+// Dropped returns the number of spans overwritten or trimmed away.
+func (c *CollectorSink) Dropped() int64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.dropped
 }
 
 // Span implements TraceSink.
 func (c *CollectorSink) Span(name, detail string, start time.Time, d time.Duration) {
 	c.mu.Lock()
-	c.spans = append(c.spans, SpanRecord{Name: name, Detail: detail, Start: start, Dur: d})
+	if c.cap == 0 {
+		c.cap = DefaultCollectorCapacity
+	}
+	rec := SpanRecord{Name: name, Detail: detail, Start: start, Dur: d}
+	if len(c.spans) < c.cap {
+		c.spans = append(c.spans, rec)
+	} else {
+		c.spans[c.next] = rec
+		c.next = (c.next + 1) % c.cap
+		c.dropped++
+	}
 	c.mu.Unlock()
 }
 
-// Spans returns the collected spans in completion order.
-func (c *CollectorSink) Spans() []SpanRecord {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	out := make([]SpanRecord, len(c.spans))
-	copy(out, c.spans)
+// orderedLocked reassembles the ring into completion order. Caller
+// holds c.mu.
+func (c *CollectorSink) orderedLocked() []SpanRecord {
+	out := make([]SpanRecord, 0, len(c.spans))
+	out = append(out, c.spans[c.next:]...)
+	out = append(out, c.spans[:c.next]...)
 	return out
 }
 
-// Reset drops the collected spans.
+// Spans returns the collected spans in completion order (the oldest
+// retained span first when the ring has wrapped).
+func (c *CollectorSink) Spans() []SpanRecord {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.orderedLocked()
+}
+
+// Reset drops the collected spans and zeroes the dropped counter.
 func (c *CollectorSink) Reset() {
 	c.mu.Lock()
 	c.spans = nil
+	c.next = 0
+	c.dropped = 0
 	c.mu.Unlock()
 }
 
@@ -361,6 +417,7 @@ type Registry struct {
 	mu       sync.Mutex
 	counters map[string]*Counter
 	gauges   map[string]func() int64
+	help     map[string]string // family help text, see Help/WritePrometheus
 }
 
 // NewRegistry returns an empty registry.
@@ -412,6 +469,7 @@ func (r *Registry) Reset() {
 	defer r.mu.Unlock()
 	r.counters = make(map[string]*Counter)
 	r.gauges = make(map[string]func() int64)
+	r.help = nil
 }
 
 // Each calls fn for every metric in name order. When a gauge and a
@@ -456,11 +514,13 @@ func (r *Registry) WriteTo(w io.Writer) (int64, error) {
 	return total, werr
 }
 
-// ServeHTTP exposes the registry as text/plain, so a Registry can be
-// mounted directly on an HTTP mux (e.g. next to /debug/pprof).
+// ServeHTTP exposes the registry in the Prometheus text format, so a
+// Registry can be mounted directly on an HTTP mux (e.g. next to
+// /debug/pprof) and scraped cleanly. The bare WriteTo exposition is
+// still available programmatically.
 func (r *Registry) ServeHTTP(w http.ResponseWriter, _ *http.Request) {
-	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
-	_, _ = r.WriteTo(w)
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	_, _ = r.WritePrometheus(w)
 }
 
 // Default is the process-wide registry commands use unless they build

@@ -1,0 +1,705 @@
+// Per-fragment distributed tracing: a compact TraceContext stamped at
+// publish and carried on the wire, a FlightRecorder that assembles the
+// spans recorded across layers (publish → durable append/fsync →
+// delivery → shared evaluation → fan-out) into per-trace records, and
+// tail-based sampling so the ring keeps the traces worth looking at —
+// everything slower than the rolling p99, everything flagged
+// (gap/degraded/overload), and a uniform sample of the rest.
+//
+// The recorder mirrors the package's nil-receiver convention: a nil
+// *FlightRecorder (tracing disabled) makes every method a no-op and the
+// instrumented hot paths allocation-free — Start returns a nil *Span and
+// all Span methods are nil-safe, so call sites need no guards beyond
+// keeping fmt.Sprintf detail behind a `sp != nil` check.
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"math/rand"
+	"net/http"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// TraceContext identifies a position in a trace: the trace id shared by
+// every span of one fragment's journey, and the span id of the causal
+// parent for spans recorded downstream. The zero value means "untraced".
+//
+// Contexts cross process boundaries as an optional wire attribute
+// (fragment.AttrTrace). Unlike PublishedAt — which the decoder zeroes
+// because a peer must never control latency measurement — trace ids are
+// pure correlation tokens: accepting one from the wire only decides
+// which bucket downstream spans land in, while every latency the
+// recorder reports is computed from its own local clock.
+type TraceContext struct {
+	TraceID uint64
+	SpanID  uint64
+}
+
+// Valid reports whether the context carries a trace.
+func (tc TraceContext) Valid() bool { return tc.TraceID != 0 }
+
+// String renders the context as "traceid-spanid" in fixed-width hex,
+// the wire form. Invalid contexts render as "".
+func (tc TraceContext) String() string {
+	if !tc.Valid() {
+		return ""
+	}
+	return fmt.Sprintf("%016x-%016x", tc.TraceID, tc.SpanID)
+}
+
+// ParseTraceContext parses the wire form produced by String. It accepts
+// any hex width (re-encoding canonicalizes the padding) and reports ok =
+// false for anything malformed or for a zero trace id; wire decoders
+// treat that as "no trace" rather than an error, so a garbled attribute
+// from a legacy or hostile peer degrades to an untraced fragment.
+func ParseTraceContext(s string) (TraceContext, bool) {
+	i := strings.IndexByte(s, '-')
+	if i < 1 || i >= len(s)-1 {
+		return TraceContext{}, false
+	}
+	tid, err := strconv.ParseUint(s[:i], 16, 64)
+	if err != nil || tid == 0 {
+		return TraceContext{}, false
+	}
+	sid, err := strconv.ParseUint(s[i+1:], 16, 64)
+	if err != nil {
+		return TraceContext{}, false
+	}
+	return TraceContext{TraceID: tid, SpanID: sid}, true
+}
+
+// TraceSpan is one completed span inside a TraceRecord.
+type TraceSpan struct {
+	SpanID uint64 `json:"span"`
+	Parent uint64 `json:"parent,omitempty"` // span id of the causal parent; 0 = root
+	Name   string `json:"name"`
+	Detail string `json:"detail,omitempty"`
+
+	// Fragment coordinates, when the recording layer knows them.
+	Stream string `json:"stream,omitempty"`
+	TSID   int    `json:"tsid,omitempty"`
+	Seq    uint64 `json:"seq,omitempty"`
+	// Reg is the registry registration id for fan-out spans.
+	Reg int64 `json:"reg,omitempty"`
+
+	Start time.Time     `json:"start"`
+	Dur   time.Duration `json:"dur_ns"`
+}
+
+// TraceRecord is one finalized trace kept by the recorder. Records
+// handed out by Traces/WriteJSON are shared and must not be mutated.
+type TraceRecord struct {
+	TraceID uint64 `json:"-"`
+	// Trace is the hex trace id, the form /v1/tracez and exemplars use.
+	Trace string    `json:"trace"`
+	Start time.Time `json:"start"`
+	// Duration is the end-to-end latency: max span end − min span start,
+	// measured entirely on this recorder's clock.
+	Duration time.Duration `json:"dur_ns"`
+	// Keep says why the tail sampler kept this trace: "flag" (explicitly
+	// flagged: gap/degraded/overload/backpressure), "p99" (end-to-end
+	// latency ≥ the rolling p99 threshold), or "sample" (uniform 1-in-N).
+	Keep  string   `json:"keep"`
+	Flags []string `json:"flags,omitempty"`
+	// Truncated marks traces that overflowed MaxSpansPerTrace.
+	Truncated bool        `json:"truncated,omitempty"`
+	Spans     []TraceSpan `json:"spans"`
+}
+
+// Span is a live span handle. A nil *Span is valid and inert, so
+// disabled tracing costs nothing at the call sites.
+type Span struct {
+	rec *FlightRecorder
+	s   TraceSpan
+	tid uint64
+}
+
+// FlightRecorderOptions configures a FlightRecorder; zero values take
+// the defaults noted on each field.
+type FlightRecorderOptions struct {
+	// Capacity bounds the ring of kept (finalized, sampled-in) traces;
+	// the oldest is overwritten when full. Default 256.
+	Capacity int
+	// MaxActive bounds in-flight trace assembly buffers; the oldest is
+	// force-finalized when a new trace would exceed it. Default 512.
+	MaxActive int
+	// MaxSpansPerTrace bounds spans buffered per trace; overflow marks
+	// the record Truncated. Default 64.
+	MaxSpansPerTrace int
+	// SampleEvery keeps 1 in N of the traces that are neither flagged
+	// nor above the p99 threshold. Default 16; 1 keeps everything.
+	SampleEvery int
+	// Quiescence is how long a trace must sit idle (no new spans) before
+	// a read finalizes it. Traces have no explicit end event — the last
+	// fan-out delivery is only knowable in hindsight. Default 100ms.
+	Quiescence time.Duration
+	// Clock overrides time.Now, for tests.
+	Clock func() time.Time
+}
+
+// FlightStats is a point-in-time summary of a recorder.
+type FlightStats struct {
+	Active         int   // traces still assembling
+	KeptInRing     int   // finalized traces currently readable
+	Finalized      int64 // traces finalized since start
+	Kept           int64 // finalized traces that passed the sampler
+	SampledOut     int64 // finalized traces dropped by the sampler
+	RingDropped    int64 // kept traces overwritten by newer ones
+	TruncatedSpans int64 // spans dropped by MaxSpansPerTrace
+	ThresholdNs    int64 // current rolling p99 keep threshold
+}
+
+// traceBuf assembles one in-flight trace.
+type traceBuf struct {
+	id        uint64
+	spans     []TraceSpan
+	flags     []string
+	truncated bool
+	last      time.Time // last span/flag activity, for quiescence
+}
+
+// FlightRecorder collects spans into per-trace records with tail-based
+// sampling. One recorder is shared by every layer of a process (server,
+// segstore, client, engines, registry); all methods are safe for
+// concurrent use and nil-receiver safe.
+type FlightRecorder struct {
+	opts    FlightRecorderOptions
+	idBase  uint64
+	traceCt atomic.Uint64
+	spanCt  atomic.Uint64
+
+	// e2e feeds the rolling p99 threshold and doubles as the exemplar
+	// demo: each bucket remembers the last trace id observed into it.
+	e2e *Histogram
+
+	mu        sync.Mutex
+	active    map[uint64]*traceBuf
+	order     []uint64 // active trace ids, oldest first
+	ring      []*TraceRecord
+	next      int
+	finalized int64
+	kept      int64
+	sampled   int64 // sampler countdown state: finalized count of unflagged/under-threshold traces
+	out       int64 // sampledOut
+	dropped   int64 // ring overwrites
+	truncSp   int64
+}
+
+// NewFlightRecorder returns a recorder with the given options.
+func NewFlightRecorder(opts FlightRecorderOptions) *FlightRecorder {
+	if opts.Capacity <= 0 {
+		opts.Capacity = 256
+	}
+	if opts.MaxActive <= 0 {
+		opts.MaxActive = 512
+	}
+	if opts.MaxSpansPerTrace <= 0 {
+		opts.MaxSpansPerTrace = 64
+	}
+	if opts.SampleEvery <= 0 {
+		opts.SampleEvery = 16
+	}
+	if opts.Quiescence <= 0 {
+		opts.Quiescence = 100 * time.Millisecond
+	}
+	if opts.Clock == nil {
+		opts.Clock = time.Now
+	}
+	return &FlightRecorder{
+		opts:   opts,
+		idBase: rand.Uint64() &^ 0xffffffff, // random high bits + counter low bits
+		e2e:    NewHistogram(),
+		active: make(map[uint64]*traceBuf),
+		ring:   make([]*TraceRecord, 0, opts.Capacity),
+	}
+}
+
+// NewTrace allocates a fresh trace id with no parent span. Returns the
+// zero (untraced) context on a nil recorder.
+func (r *FlightRecorder) NewTrace() TraceContext {
+	if r == nil {
+		return TraceContext{}
+	}
+	id := r.idBase | (r.traceCt.Add(1) & 0xffffffff)
+	if id == 0 {
+		id = 1
+	}
+	return TraceContext{TraceID: id}
+}
+
+// Start opens a span in tc's trace, parented to tc.SpanID. It returns
+// nil — and records nothing — on a nil recorder or an untraced context,
+// so propagation naturally stops where the publisher didn't stamp.
+func (r *FlightRecorder) Start(tc TraceContext, name string) *Span {
+	if r == nil || !tc.Valid() {
+		return nil
+	}
+	return &Span{
+		rec: r,
+		tid: tc.TraceID,
+		s: TraceSpan{
+			SpanID: r.spanCt.Add(1),
+			Parent: tc.SpanID,
+			Name:   name,
+			Start:  r.opts.Clock(),
+		},
+	}
+}
+
+// Annotate attaches fragment coordinates to the span.
+func (sp *Span) Annotate(stream string, tsid int, seq uint64) *Span {
+	if sp != nil {
+		sp.s.Stream, sp.s.TSID, sp.s.Seq = stream, tsid, seq
+	}
+	return sp
+}
+
+// SetReg marks the span with a registry registration id.
+func (sp *Span) SetReg(id int64) *Span {
+	if sp != nil {
+		sp.s.Reg = id
+	}
+	return sp
+}
+
+// SetDetail attaches free-form detail. Callers building the string with
+// fmt should guard on sp != nil to keep the disabled path alloc-free.
+func (sp *Span) SetDetail(d string) *Span {
+	if sp != nil {
+		sp.s.Detail = d
+	}
+	return sp
+}
+
+// Context returns the span's own context: same trace, this span as the
+// causal parent for anything started under it.
+func (sp *Span) Context() TraceContext {
+	if sp == nil {
+		return TraceContext{}
+	}
+	return TraceContext{TraceID: sp.tid, SpanID: sp.s.SpanID}
+}
+
+// End completes the span and hands it to the recorder. End on a nil or
+// already-ended span is a no-op.
+func (sp *Span) End() {
+	if sp == nil || sp.rec == nil {
+		return
+	}
+	r := sp.rec
+	sp.rec = nil
+	sp.s.Dur = r.opts.Clock().Sub(sp.s.Start)
+	r.record(sp.tid, sp.s)
+}
+
+func (r *FlightRecorder) record(tid uint64, s TraceSpan) {
+	now := r.opts.Clock()
+	r.mu.Lock()
+	tb := r.active[tid]
+	if tb == nil {
+		for len(r.active) >= r.opts.MaxActive && len(r.order) > 0 {
+			r.finalizeLocked(r.order[0])
+		}
+		tb = &traceBuf{id: tid}
+		r.active[tid] = tb
+		r.order = append(r.order, tid)
+	}
+	if len(tb.spans) < r.opts.MaxSpansPerTrace {
+		tb.spans = append(tb.spans, s)
+	} else {
+		tb.truncated = true
+		r.truncSp++
+	}
+	tb.last = now
+	r.mu.Unlock()
+}
+
+// Flag marks a trace for unconditional keeping — gaps, degraded
+// results, overload trips, backpressure drops. A flag may land before
+// the trace's first span ends (a client flags "gap" while its deliver
+// span is still open), so an absent buffer is created rather than
+// ignored; a buffer that never receives a span is silently discarded at
+// finalize. Flagging an already-finalized trace is a no-op.
+func (r *FlightRecorder) Flag(traceID uint64, reason string) {
+	if r == nil || traceID == 0 {
+		return
+	}
+	now := r.opts.Clock()
+	r.mu.Lock()
+	tb := r.active[traceID]
+	if tb == nil {
+		for len(r.active) >= r.opts.MaxActive && len(r.order) > 0 {
+			r.finalizeLocked(r.order[0])
+		}
+		tb = &traceBuf{id: traceID}
+		r.active[traceID] = tb
+		r.order = append(r.order, traceID)
+	}
+	dup := false
+	for _, f := range tb.flags {
+		if f == reason {
+			dup = true
+			break
+		}
+	}
+	if !dup && len(tb.flags) < 8 {
+		tb.flags = append(tb.flags, reason)
+	}
+	tb.last = now
+	r.mu.Unlock()
+}
+
+// finalizeLocked closes the active trace, runs the tail sampler and, if
+// kept, pushes the record into the ring. Caller holds r.mu.
+func (r *FlightRecorder) finalizeLocked(tid uint64) {
+	tb := r.active[tid]
+	if tb == nil {
+		return
+	}
+	delete(r.active, tid)
+	for i, id := range r.order {
+		if id == tid {
+			r.order = append(r.order[:i], r.order[i+1:]...)
+			break
+		}
+	}
+	if len(tb.spans) == 0 {
+		return
+	}
+	start, end := tb.spans[0].Start, tb.spans[0].Start.Add(tb.spans[0].Dur)
+	for _, s := range tb.spans[1:] {
+		if s.Start.Before(start) {
+			start = s.Start
+		}
+		if e := s.Start.Add(s.Dur); e.After(end) {
+			end = e
+		}
+	}
+	e2e := end.Sub(start)
+
+	// Tail sampling: the keep decision needs the whole trace, which is
+	// only available here, after the last span landed.
+	threshold := r.e2e.Quantile(0.99)
+	warm := r.e2e.Count() >= 32
+	r.e2e.ObserveExemplar(e2e, tid)
+	r.finalized++
+	keep := ""
+	switch {
+	case len(tb.flags) > 0:
+		keep = "flag"
+	case e2e >= threshold && (warm || r.opts.SampleEvery == 1):
+		keep = "p99"
+	default:
+		r.sampled++
+		if r.sampled%int64(r.opts.SampleEvery) == 0 {
+			keep = "sample"
+		}
+	}
+	if keep == "" {
+		r.out++
+		return
+	}
+	sort.SliceStable(tb.spans, func(i, j int) bool { return tb.spans[i].Start.Before(tb.spans[j].Start) })
+	rec := &TraceRecord{
+		TraceID:   tid,
+		Trace:     fmt.Sprintf("%016x", tid),
+		Start:     start,
+		Duration:  e2e,
+		Keep:      keep,
+		Flags:     tb.flags,
+		Truncated: tb.truncated,
+		Spans:     tb.spans,
+	}
+	r.kept++
+	if len(r.ring) < r.opts.Capacity {
+		r.ring = append(r.ring, rec)
+		return
+	}
+	r.ring[r.next] = rec
+	r.next = (r.next + 1) % r.opts.Capacity
+	r.dropped++
+}
+
+// expireLocked finalizes every active trace idle past Quiescence.
+func (r *FlightRecorder) expireLocked(now time.Time) {
+	var idle []uint64
+	for id, tb := range r.active {
+		if now.Sub(tb.last) >= r.opts.Quiescence {
+			idle = append(idle, id)
+		}
+	}
+	for _, id := range idle {
+		r.finalizeLocked(id)
+	}
+}
+
+// Flush finalizes every in-flight trace immediately, regardless of
+// quiescence. Tests and end-of-run dumps call it; steady-state readers
+// rely on the quiescence sweep instead.
+func (r *FlightRecorder) Flush() {
+	if r == nil {
+		return
+	}
+	r.mu.Lock()
+	for len(r.order) > 0 {
+		r.finalizeLocked(r.order[0])
+	}
+	r.mu.Unlock()
+}
+
+// TraceFilter selects traces for Traces/WriteJSON: a trace matches when
+// every non-zero field is matched by at least one of its spans. Limit
+// bounds the result to the most recent n traces (0 = all).
+type TraceFilter struct {
+	Stream string
+	TSID   int
+	Reg    int64
+	Limit  int
+}
+
+func (f TraceFilter) matches(rec *TraceRecord) bool {
+	if f.Stream == "" && f.TSID == 0 && f.Reg == 0 {
+		return true
+	}
+	okStream, okTSID, okReg := f.Stream == "", f.TSID == 0, f.Reg == 0
+	for _, s := range rec.Spans {
+		if s.Stream == f.Stream {
+			okStream = true
+		}
+		if s.TSID == f.TSID {
+			okTSID = true
+		}
+		if s.Reg == f.Reg {
+			okReg = true
+		}
+	}
+	return okStream && okTSID && okReg
+}
+
+// Traces returns the kept traces matching f, oldest first. The returned
+// records are shared — treat them as immutable.
+func (r *FlightRecorder) Traces(f TraceFilter) []*TraceRecord {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	r.expireLocked(r.opts.Clock())
+	out := make([]*TraceRecord, 0, len(r.ring))
+	for i := 0; i < len(r.ring); i++ {
+		rec := r.ring[(r.next+i)%len(r.ring)]
+		if f.matches(rec) {
+			out = append(out, rec)
+		}
+	}
+	r.mu.Unlock()
+	if f.Limit > 0 && len(out) > f.Limit {
+		out = out[len(out)-f.Limit:]
+	}
+	return out
+}
+
+// TraceByID returns the kept trace with the given id, or nil.
+func (r *FlightRecorder) TraceByID(traceID uint64) *TraceRecord {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.expireLocked(r.opts.Clock())
+	for _, rec := range r.ring {
+		if rec.TraceID == traceID {
+			return rec
+		}
+	}
+	return nil
+}
+
+// Stats returns a summary snapshot.
+func (r *FlightRecorder) Stats() FlightStats {
+	if r == nil {
+		return FlightStats{}
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return FlightStats{
+		Active:         len(r.active),
+		KeptInRing:     len(r.ring),
+		Finalized:      r.finalized,
+		Kept:           r.kept,
+		SampledOut:     r.out,
+		RingDropped:    r.dropped,
+		TruncatedSpans: r.truncSp,
+		ThresholdNs:    int64(r.e2e.Quantile(0.99)),
+	}
+}
+
+// E2E returns the recorder's end-to-end latency histogram (with
+// exemplars), for registration next to the process metrics.
+func (r *FlightRecorder) E2E() *Histogram {
+	if r == nil {
+		return nil
+	}
+	return r.e2e
+}
+
+// RegisterMetrics exposes recorder counters as gauges under prefix
+// (prefix_traces_kept, prefix_traces_sampled_out, ...) plus the
+// end-to-end histogram under prefix_e2e.
+func (r *FlightRecorder) RegisterMetrics(reg *Registry, prefix string) {
+	if r == nil || reg == nil {
+		return
+	}
+	reg.Gauge(prefix+"_traces_active", func() int64 { return int64(r.Stats().Active) })
+	reg.Gauge(prefix+"_traces_kept", func() int64 { return r.Stats().Kept })
+	reg.Gauge(prefix+"_traces_sampled_out", func() int64 { return r.Stats().SampledOut })
+	reg.Gauge(prefix+"_traces_ring_dropped", func() int64 { return r.Stats().RingDropped })
+	reg.Gauge(prefix+"_spans_truncated", func() int64 { return r.Stats().TruncatedSpans })
+	reg.Gauge(prefix+"_keep_threshold_ns", func() int64 { return r.Stats().ThresholdNs })
+	r.e2e.Register(reg, prefix+"_e2e")
+}
+
+// tracezResponse is the /v1/tracez JSON envelope.
+type tracezResponse struct {
+	Stats  FlightStats    `json:"stats"`
+	Traces []*TraceRecord `json:"traces"`
+}
+
+// WriteJSON writes the tracez envelope (stats + matching traces, oldest
+// first) to w.
+func (r *FlightRecorder) WriteJSON(w interface{ Write([]byte) (int, error) }, f TraceFilter) error {
+	resp := tracezResponse{Stats: r.Stats(), Traces: r.Traces(f)}
+	if resp.Traces == nil {
+		resp.Traces = []*TraceRecord{}
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(resp)
+}
+
+// ServeHTTP serves the tracez JSON. Query parameters: stream=<name>,
+// tsid=<n>, reg=<id>, limit=<n>, trace=<hex id> (single-trace lookup,
+// 404 when absent).
+func (r *FlightRecorder) ServeHTTP(w http.ResponseWriter, req *http.Request) {
+	if r == nil {
+		http.Error(w, "flight recorder not enabled", http.StatusNotFound)
+		return
+	}
+	q := req.URL.Query()
+	if hexID := q.Get("trace"); hexID != "" {
+		tid, err := strconv.ParseUint(hexID, 16, 64)
+		if err != nil {
+			http.Error(w, "bad trace id", http.StatusBadRequest)
+			return
+		}
+		rec := r.TraceByID(tid)
+		if rec == nil {
+			http.Error(w, "trace not found (sampled out, evicted, or still in flight)", http.StatusNotFound)
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		_ = enc.Encode(rec)
+		return
+	}
+	var f TraceFilter
+	f.Stream = q.Get("stream")
+	if v := q.Get("tsid"); v != "" {
+		n, err := strconv.Atoi(v)
+		if err != nil {
+			http.Error(w, "bad tsid", http.StatusBadRequest)
+			return
+		}
+		f.TSID = n
+	}
+	if v := q.Get("reg"); v != "" {
+		n, err := strconv.ParseInt(v, 10, 64)
+		if err != nil {
+			http.Error(w, "bad reg", http.StatusBadRequest)
+			return
+		}
+		f.Reg = n
+	}
+	if v := q.Get("limit"); v != "" {
+		n, err := strconv.Atoi(v)
+		if err != nil || n < 0 {
+			http.Error(w, "bad limit", http.StatusBadRequest)
+			return
+		}
+		f.Limit = n
+	}
+	w.Header().Set("Content-Type", "application/json")
+	_ = r.WriteJSON(w, f)
+}
+
+// Render formats the most recent limit kept traces (0 = all) as an
+// indented span tree, newest last — the xcqlrun -tracez / streamdemo
+// /debugz view.
+func (r *FlightRecorder) Render(limit int) string {
+	if r == nil {
+		return "(tracing disabled)\n"
+	}
+	traces := r.Traces(TraceFilter{Limit: limit})
+	if len(traces) == 0 {
+		return "(no traces kept)\n"
+	}
+	var b strings.Builder
+	for _, rec := range traces {
+		fmt.Fprintf(&b, "trace %s  %-9v keep=%s", rec.Trace, rec.Duration.Round(time.Microsecond), rec.Keep)
+		if len(rec.Flags) > 0 {
+			fmt.Fprintf(&b, " flags=%s", strings.Join(rec.Flags, ","))
+		}
+		if rec.Truncated {
+			b.WriteString(" (truncated)")
+		}
+		b.WriteByte('\n')
+		children := make(map[uint64][]TraceSpan)
+		ids := make(map[uint64]bool, len(rec.Spans))
+		for _, s := range rec.Spans {
+			ids[s.SpanID] = true
+		}
+		var roots []TraceSpan
+		for _, s := range rec.Spans {
+			if s.Parent != 0 && ids[s.Parent] {
+				children[s.Parent] = append(children[s.Parent], s)
+			} else {
+				roots = append(roots, s)
+			}
+		}
+		var walk func(s TraceSpan, depth int)
+		walk = func(s TraceSpan, depth int) {
+			fmt.Fprintf(&b, "  %s%-18s +%-10v %-10v",
+				strings.Repeat("  ", depth), s.Name,
+				s.Start.Sub(rec.Start).Round(time.Microsecond), s.Dur.Round(time.Microsecond))
+			if s.Stream != "" {
+				fmt.Fprintf(&b, " stream=%s", s.Stream)
+			}
+			if s.TSID != 0 {
+				fmt.Fprintf(&b, " tsid=%d", s.TSID)
+			}
+			if s.Seq != 0 {
+				fmt.Fprintf(&b, " seq=%d", s.Seq)
+			}
+			if s.Reg != 0 {
+				fmt.Fprintf(&b, " reg=%d", s.Reg)
+			}
+			if s.Detail != "" {
+				fmt.Fprintf(&b, " %s", s.Detail)
+			}
+			b.WriteByte('\n')
+			for _, c := range children[s.SpanID] {
+				walk(c, depth+1)
+			}
+		}
+		for _, s := range roots {
+			walk(s, 0)
+		}
+	}
+	return b.String()
+}

@@ -30,6 +30,7 @@ import (
 	"sync"
 	"time"
 
+	"xcql/internal/obs"
 	"xcql/internal/xcql"
 )
 
@@ -53,6 +54,8 @@ type API struct {
 
 	mu     sync.Mutex
 	codecs map[string]Codec
+	// tracer backs GET /v1/tracez; nil = 404 (tracing not enabled).
+	tracer *obs.FlightRecorder
 	// owned tracks registrations created over HTTP (POST /v1/query) so
 	// subscribe/DELETE can find them by id. WebSocket-scoped
 	// registrations live and die with their connection and are not in
@@ -78,6 +81,16 @@ func (a *API) RegisterCodec(c Codec) {
 	a.mu.Lock()
 	a.codecs[c.Name()] = c
 	a.mu.Unlock()
+}
+
+// SetFlightRecorder exposes a flight recorder at GET /v1/tracez (and
+// wires it into the registry so deliveries carry span trees). nil
+// detaches the endpoint.
+func (a *API) SetFlightRecorder(rec *obs.FlightRecorder) {
+	a.mu.Lock()
+	a.tracer = rec
+	a.mu.Unlock()
+	a.reg.SetFlightRecorder(rec)
 }
 
 // SetClock pins the one-shot /v1/eval instant (tests); nil restores
@@ -192,6 +205,15 @@ func (a *API) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 		a.handleEval(w, r)
 	case "/v1/registryz":
 		a.handleRegistryz(w)
+	case "/v1/tracez":
+		a.mu.Lock()
+		rec := a.tracer
+		a.mu.Unlock()
+		if rec == nil {
+			httpError(w, http.StatusNotFound, "tracez", "no flight recorder attached")
+			return
+		}
+		rec.ServeHTTP(w, r)
 	default:
 		httpError(w, http.StatusNotFound, "route", "unknown path "+r.URL.Path)
 	}

@@ -2,6 +2,7 @@ package registry
 
 import (
 	"encoding/json"
+	"fmt"
 	"time"
 
 	"xcql/internal/stream"
@@ -34,6 +35,11 @@ type WireResult struct {
 	Delta    []string `json:"delta"`
 	Degraded string   `json:"degraded,omitempty"`
 	Err      string   `json:"error,omitempty"`
+	// Trace is the hex trace id of the arrival that produced this
+	// delivery (omitted when untraced): the subscriber-side key into
+	// GET /v1/tracez?trace=<id>. Old clients ignore the extra field;
+	// old servers simply never emit it.
+	Trace string `json:"trace,omitempty"`
 }
 
 // JSONCodec is the built-in JSON result codec.
@@ -56,6 +62,9 @@ func (JSONCodec) EncodeResult(id int64, res Result) ([]byte, error) {
 	}
 	if res.Err != nil {
 		w.Err = res.Err.Error()
+	}
+	if res.TraceID != 0 {
+		w.Trace = fmt.Sprintf("%016x", res.TraceID)
 	}
 	return json.Marshal(w)
 }

@@ -68,6 +68,11 @@ type Result struct {
 	// arrival produced no delta. Governed failures (budget, deadline,
 	// admission) never surface here — they degrade instead.
 	Err error
+	// TraceID is the trace id of the fragment arrival that produced this
+	// delivery (0 when untraced): the link from a subscriber's result
+	// back to the publish→fsync→eval→fanout span tree in /v1/tracez. It
+	// rides the WebSocket subscribe path as WireResult.Trace.
+	TraceID uint64
 }
 
 // Options configures one registration.
@@ -117,6 +122,30 @@ type Registry struct {
 	overloads   int64
 	drops       int64
 	reseeds     int64
+
+	// tracer, when set, records "registry.eval" and per-registration
+	// "fanout" spans for traced arrivals and flags degraded/backpressure
+	// traces. Guarded by mu; nil = off.
+	tracer *obs.FlightRecorder
+}
+
+// SetFlightRecorder attaches a flight recorder: traced arrivals record
+// a "registry.eval" span per sharing group and a "fanout" span per
+// registration delivery, and the recorder is propagated into every
+// registration's incremental engine (current and future). nil detaches.
+func (r *Registry) SetFlightRecorder(rec *obs.FlightRecorder) {
+	r.mu.Lock()
+	r.tracer = rec
+	engines := make([]*inc.Engine, 0, len(r.regs))
+	for _, reg := range r.regs {
+		if reg.eng != nil {
+			engines = append(engines, reg.eng)
+		}
+	}
+	r.mu.Unlock()
+	for _, eng := range engines {
+		eng.SetFlightRecorder(rec)
+	}
 }
 
 // New returns an empty registry. The clock supplies evaluation instants
@@ -353,6 +382,9 @@ func (r *Registry) Register(q *xcql.Query, opts Options) (*Registration, error) 
 		} else {
 			g.engShares[reg.incKey] = &engShare{eng: reg.eng, refs: 1}
 		}
+	}
+	if reg.eng != nil {
+		reg.eng.SetFlightRecorder(r.tracer)
 	}
 	r.regs[reg.id] = reg
 	return reg, nil
@@ -592,12 +624,26 @@ func (r *Registry) Evaluate() { r.Apply(nil) }
 func (r *Registry) applyGroup(g *group, f *fragment.Fragment, at time.Time) {
 	start := time.Now()
 	r.mu.Lock()
+	rec := r.tracer
 	members := make([]*Registration, 0, len(g.members))
 	for _, reg := range g.members {
 		members = append(members, reg)
 	}
 	r.mu.Unlock()
 	sort.Slice(members, func(i, j int) bool { return members[i].id < members[j].id })
+
+	// a traced arrival gets one "registry.eval" span per sharing group;
+	// each member's delivery hangs off it as a "fanout" child, so K
+	// subscribers served by one shared evaluation appear as K children of
+	// a single eval node in the span tree.
+	var gsp *obs.Span
+	var ptc obs.TraceContext
+	var tid uint64
+	if f != nil {
+		tid = f.Trace.TraceID
+		gsp = rec.Start(f.Trace, "registry.eval").Annotate("", f.TSID, f.Seq)
+		ptc = gsp.Context()
+	}
 
 	pass := inc.NewSharedPass()
 	fullResults := make(map[string]fullEval)
@@ -606,13 +652,13 @@ func (r *Registry) applyGroup(g *group, f *fragment.Fragment, at time.Time) {
 	var delivered int64
 	for _, reg := range members {
 		if reg.eng != nil {
-			r.applyIncremental(reg, f, at, pass, incResults, &groupStats, &delivered)
+			r.applyIncremental(reg, f, at, pass, incResults, &groupStats, &delivered, rec, ptc, tid)
 		} else {
-			r.applyFull(reg, g, at, fullResults, &groupStats, &delivered)
+			r.applyFull(reg, g, at, fullResults, &groupStats, &delivered, rec, ptc, tid)
 		}
 	}
 	elapsed := time.Since(start)
-	g.latency.Observe(elapsed)
+	g.latency.ObserveExemplar(elapsed, tid)
 
 	evals := pass.Misses()
 	saved := pass.Hits()
@@ -623,6 +669,10 @@ func (r *Registry) applyGroup(g *group, f *fragment.Fragment, at time.Time) {
 	for _, adv := range incResults {
 		saved += int64(adv.consumers - 1)
 	}
+	if gsp != nil {
+		gsp.SetDetail(fmt.Sprintf("group=%s members=%d evals=%d saved=%d", g.pathSig, len(members), evals, saved))
+	}
+	gsp.End()
 	r.mu.Lock()
 	g.sharedEvals += evals
 	g.sharedSaved += saved
@@ -662,8 +712,11 @@ type incAdvance struct {
 // of the incremental delta — byte-identical to what an independent
 // query's Reseed emits, without disturbing the share.
 func (r *Registry) applyIncremental(reg *Registration, f *fragment.Fragment, at time.Time,
-	pass *inc.SharedPass, incResults map[string]*incAdvance, groupStats *obs.EvalStats, delivered *int64) {
+	pass *inc.SharedPass, incResults map[string]*incAdvance, groupStats *obs.EvalStats, delivered *int64,
+	rec *obs.FlightRecorder, ptc obs.TraceContext, tid uint64) {
 	start := time.Now()
+	fsp := rec.Start(ptc, "fanout").SetReg(reg.id)
+	defer fsp.End()
 	reg.mu.Lock()
 	reseed := reg.needReseed
 	reg.needReseed = false
@@ -689,13 +742,22 @@ func (r *Registry) applyIncremental(reg *Registration, f *fragment.Fragment, at 
 				r.mu.Unlock()
 			}
 			reg.Invalidate(reason)
-			if reg.deliver(Result{At: at, Degraded: reason}) {
+			rec.Flag(tid, "governed")
+			fsp.SetDetail("governed")
+			if reg.deliver(Result{At: at, Degraded: reason, TraceID: tid}) {
 				*delivered++
+			} else {
+				rec.Flag(tid, "backpressure")
 			}
-		} else if reg.deliver(Result{At: at, Err: adv.err}) {
-			*delivered++
+		} else {
+			fsp.SetDetail("error")
+			if reg.deliver(Result{At: at, Err: adv.err, TraceID: tid}) {
+				*delivered++
+			} else {
+				rec.Flag(tid, "backpressure")
+			}
 		}
-		reg.latency.Observe(time.Since(start))
+		reg.latency.ObserveExemplar(time.Since(start), tid)
 		return
 	}
 	delta := adv.delta
@@ -704,14 +766,23 @@ func (r *Registry) applyIncremental(reg *Registration, f *fragment.Fragment, at 
 		r.reseeds++
 		r.mu.Unlock()
 		delta = snapshotDelta(reg.eng)
+		fsp.SetDetail("reseed")
 	}
 	reg.mu.Lock()
 	degraded := reg.degraded
 	reg.mu.Unlock()
-	if reg.deliver(Result{At: at, Delta: delta, Degraded: degraded}) {
-		*delivered++
+	if degraded != "" {
+		rec.Flag(tid, "degraded")
 	}
-	reg.latency.Observe(time.Since(start))
+	if fsp != nil && !reseed {
+		fsp.SetDetail(fmt.Sprintf("delta=%d", len(delta)))
+	}
+	if reg.deliver(Result{At: at, Delta: delta, Degraded: degraded, TraceID: tid}) {
+		*delivered++
+	} else {
+		rec.Flag(tid, "backpressure")
+	}
+	reg.latency.ObserveExemplar(time.Since(start), tid)
 }
 
 // snapshotDelta renders the engine's standing result as a re-emission
@@ -737,8 +808,11 @@ func snapshotDelta(eng *inc.Engine) xq.Sequence {
 // against this registration's own previous-result serials — the exact
 // generation-scoped delta a ContinuousQuery maintains.
 func (r *Registry) applyFull(reg *Registration, g *group, at time.Time,
-	results map[string]fullEval, groupStats *obs.EvalStats, delivered *int64) {
+	results map[string]fullEval, groupStats *obs.EvalStats, delivered *int64,
+	rec *obs.FlightRecorder, ptc obs.TraceContext, tid uint64) {
 	start := time.Now()
+	fsp := rec.Start(ptc, "fanout").SetReg(reg.id)
+	defer fsp.End()
 	fe, ok := results[reg.fullKey]
 	if !ok {
 		// the group's first member with this plan identity pays for the
@@ -753,13 +827,22 @@ func (r *Registry) applyFull(reg *Registration, g *group, at time.Time,
 	if fe.err != nil {
 		if reason, governed := stream.GovernedFailure(fe.err); governed {
 			reg.Invalidate(reason)
-			if reg.deliver(Result{At: at, Degraded: reason}) {
+			rec.Flag(tid, "governed")
+			fsp.SetDetail("governed")
+			if reg.deliver(Result{At: at, Degraded: reason, TraceID: tid}) {
 				*delivered++
+			} else {
+				rec.Flag(tid, "backpressure")
 			}
-		} else if reg.deliver(Result{At: at, Err: fe.err}) {
-			*delivered++
+		} else {
+			fsp.SetDetail("error")
+			if reg.deliver(Result{At: at, Err: fe.err, TraceID: tid}) {
+				*delivered++
+			} else {
+				rec.Flag(tid, "backpressure")
+			}
 		}
-		reg.latency.Observe(time.Since(start))
+		reg.latency.ObserveExemplar(time.Since(start), tid)
 		return
 	}
 	reg.mu.Lock()
@@ -780,10 +863,18 @@ func (r *Registry) applyFull(reg *Registration, g *group, at time.Time,
 	reg.needReseed = false
 	degraded := reg.degraded
 	reg.mu.Unlock()
-	if reg.deliver(Result{At: at, Items: fe.seq, Delta: delta, Degraded: degraded}) {
-		*delivered++
+	if degraded != "" {
+		rec.Flag(tid, "degraded")
 	}
-	reg.latency.Observe(time.Since(start))
+	if fsp != nil {
+		fsp.SetDetail(fmt.Sprintf("items=%d delta=%d", len(fe.seq), len(delta)))
+	}
+	if reg.deliver(Result{At: at, Items: fe.seq, Delta: delta, Degraded: degraded, TraceID: tid}) {
+		*delivered++
+	} else {
+		rec.Flag(tid, "backpressure")
+	}
+	reg.latency.ObserveExemplar(time.Since(start), tid)
 }
 
 // InvalidateAll degrades every registration (transport gap, durable-

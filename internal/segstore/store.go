@@ -12,6 +12,7 @@ import (
 	"time"
 
 	"xcql/internal/fragment"
+	"xcql/internal/obs"
 	"xcql/internal/xmldom"
 )
 
@@ -207,6 +208,18 @@ type Store struct {
 	sinceSnapshot int
 	stats         Stats
 	closed        bool
+
+	// tracer, when set, records "segstore.append" (+ child
+	// "segstore.fsync") spans for traced fragments. nil = off.
+	tracer *obs.FlightRecorder
+}
+
+// SetFlightRecorder attaches a flight recorder: appends of fragments
+// carrying a trace context record append and fsync spans. nil detaches.
+func (s *Store) SetFlightRecorder(rec *obs.FlightRecorder) {
+	s.mu.Lock()
+	s.tracer = rec
+	s.mu.Unlock()
 }
 
 // Open recovers (or creates) the store in dir and reports what recovery
@@ -558,6 +571,8 @@ func (s *Store) Append(f *fragment.Fragment) error {
 	if s.closed {
 		return errors.New("segstore: store is closed")
 	}
+	asp := s.tracer.Start(f.Trace, "segstore.append").Annotate("", f.TSID, f.Seq)
+	defer asp.End()
 	if err := s.ensureActiveLocked(); err != nil {
 		s.stats.AppendErrors++
 		return err
@@ -571,12 +586,18 @@ func (s *Store) Append(f *fragment.Fragment) error {
 		return fmt.Errorf("segstore: append: %w", err)
 	}
 	if !s.opts.NoSync {
+		fsp := s.tracer.Start(asp.Context(), "segstore.fsync")
 		if err := s.active.Sync(); err != nil {
+			fsp.End()
 			s.stats.AppendErrors++
 			s.repairActiveLocked()
 			return fmt.Errorf("segstore: fsync: %w", err)
 		}
+		fsp.End()
 		s.stats.Fsyncs++
+	}
+	if asp != nil {
+		asp.SetDetail(fmt.Sprintf("lsn=%d bytes=%d", lsn, len(buf)))
 	}
 	s.nextLSN++
 	s.activeSeg.note(frameRec{lsn: lsn, frag: f, xml: xml}, int64(len(buf)))

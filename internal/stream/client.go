@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"log/slog"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"xcql/internal/fragment"
@@ -96,6 +97,11 @@ type Client struct {
 	// server) to Apply. Fragments without a publish stamp — hand-built
 	// or TCP-transported, where clock domains differ — are not observed.
 	delivery *obs.Histogram
+	// tracer, when set, records a "deliver" span per traced fragment
+	// (parented to the publish span through Fragment.Trace) and flags
+	// gap traces. Atomic: Apply runs on the feeding goroutine while
+	// SetFlightRecorder may be called from anywhere.
+	tracer atomic.Pointer[obs.FlightRecorder]
 
 	mu           sync.Mutex
 	listeners    []func(*fragment.Fragment)
@@ -133,6 +139,14 @@ func NewClient(name string, structure *tagstruct.Structure) *Client {
 		missing:  make(map[uint64]bool),
 		done:     make(chan struct{}),
 	}
+}
+
+// SetFlightRecorder attaches a flight recorder: traced fragments record
+// a "deliver" span covering store apply and listener fan-out, gap
+// detections flag the discovering fragment's trace, and the delivery
+// histogram keeps trace-id exemplars. nil detaches.
+func (c *Client) SetFlightRecorder(rec *obs.FlightRecorder) {
+	c.tracer.Store(rec)
 }
 
 // DeliveryLatency is the publish→apply latency histogram of fragments
@@ -181,8 +195,11 @@ func (c *Client) OnGap(fn func(Gap)) {
 // Unsequenced fragments (Seq == 0, e.g. hand-built in tests) bypass the
 // accounting entirely.
 func (c *Client) Apply(f *fragment.Fragment) {
+	rec := c.tracer.Load()
+	dsp := rec.Start(f.Trace, "deliver").Annotate(c.name, f.TSID, f.Seq)
+	defer dsp.End()
 	if !f.PublishedAt.IsZero() {
-		c.delivery.Observe(time.Since(f.PublishedAt))
+		c.delivery.ObserveExemplar(time.Since(f.PublishedAt), f.Trace.TraceID)
 	}
 	var gap *Gap
 	if f.Seq > 0 {
@@ -201,14 +218,20 @@ func (c *Client) Apply(f *fragment.Fragment) {
 		case c.missing[f.Seq]:
 			delete(c.missing, f.Seq)
 			c.replayed++
+			// a healed gap is the resume path working: mark the span so
+			// tracez shows which deliveries arrived via replay
+			dsp.SetDetail("replayed")
 		default:
 			c.duplicates++
 			c.mu.Unlock()
+			dsp.SetDetail("duplicate")
 			return
 		}
 		c.mu.Unlock()
 	}
 	if gap != nil {
+		// the trace that *discovered* the gap is always worth keeping
+		rec.Flag(f.Trace.TraceID, "gap")
 		c.notifyGap(*gap)
 	}
 	if err := c.store.Add(f); err != nil {

@@ -85,6 +85,11 @@ type ContinuousQuery struct {
 	// and its high-water mark.
 	bufBytes int64
 	bufHWM   int64
+
+	// tracer, when set, records a "cq.eval" span per traced arrival,
+	// keeps trace exemplars on the latency histogram, and flags degraded
+	// evaluations. nil = off.
+	tracer *obs.FlightRecorder
 }
 
 // NewContinuousQuery wraps a compiled query. onResult is invoked after
@@ -102,6 +107,26 @@ func NewContinuousQuery(q *xcql.Query, onResult func(Result)) *ContinuousQuery {
 
 // Latency is the ingest→result latency histogram (see the field doc).
 func (cq *ContinuousQuery) Latency() *obs.Histogram { return cq.latency }
+
+// SetFlightRecorder attaches a flight recorder: traced fragment arrivals
+// record a "cq.eval" span (and, in incremental mode, the engine's
+// "inc.recompute" span), the latency histogram keeps trace-id exemplars,
+// and degraded evaluations flag their trace. nil detaches.
+func (cq *ContinuousQuery) SetFlightRecorder(rec *obs.FlightRecorder) {
+	cq.mu.Lock()
+	cq.tracer = rec
+	eng := cq.eng
+	cq.mu.Unlock()
+	if eng != nil {
+		eng.SetFlightRecorder(rec)
+	}
+}
+
+func (cq *ContinuousQuery) flightRecorder() *obs.FlightRecorder {
+	cq.mu.Lock()
+	defer cq.mu.Unlock()
+	return cq.tracer
+}
 
 // Evaluations returns the number of completed evaluations (including
 // degraded ones).
@@ -128,6 +153,7 @@ func (cq *ContinuousQuery) WithIncremental(on bool) *ContinuousQuery {
 	cq.incremental = on
 	if on && cq.eng == nil {
 		cq.eng = inc.New(cq.query)
+		cq.eng.SetFlightRecorder(cq.tracer)
 	}
 	if !on {
 		cq.eng = nil
@@ -253,6 +279,14 @@ func (cq *ContinuousQuery) EvaluateFragment(f *fragment.Fragment) error {
 	}
 	start := time.Now()
 	at := cq.Clock()
+	rec := cq.flightRecorder()
+	var tid uint64
+	var esp *obs.Span
+	if f != nil {
+		tid = f.Trace.TraceID
+		esp = rec.Start(f.Trace, "cq.eval").Annotate("", f.TSID, f.Seq)
+	}
+	defer esp.End()
 	lim := cq.Limits
 	if lim == (xcql.Limits{}) {
 		lim = cq.query.Limits
@@ -261,10 +295,11 @@ func (cq *ContinuousQuery) EvaluateFragment(f *fragment.Fragment) error {
 	if err != nil {
 		if reason, ok := governedFailure(err); ok {
 			cq.Invalidate(reason)
+			rec.Flag(tid, "degraded")
 			if cq.onResult != nil {
 				cq.onResult(Result{At: at, Degraded: reason})
 			}
-			cq.finishEval(start, 0, 0, reason)
+			cq.finishEval(start, 0, 0, reason, tid)
 			return nil
 		}
 		return err
@@ -295,10 +330,13 @@ func (cq *ContinuousQuery) EvaluateFragment(f *fragment.Fragment) error {
 	cq.needReseed = false
 	res.Degraded = cq.degraded
 	cq.mu.Unlock()
+	if res.Degraded != "" {
+		rec.Flag(tid, "degraded")
+	}
 	if cq.onResult != nil {
 		cq.onResult(res)
 	}
-	cq.finishEval(start, len(res.Items), len(res.Delta), res.Degraded)
+	cq.finishEval(start, len(res.Items), len(res.Delta), res.Degraded, tid)
 	return nil
 }
 
@@ -309,6 +347,14 @@ func (cq *ContinuousQuery) EvaluateFragment(f *fragment.Fragment) error {
 func (cq *ContinuousQuery) evaluateIncremental(f *fragment.Fragment) error {
 	start := time.Now()
 	at := cq.Clock()
+	rec := cq.flightRecorder()
+	var tid uint64
+	var esp *obs.Span
+	if f != nil {
+		tid = f.Trace.TraceID
+		esp = rec.Start(f.Trace, "cq.eval").Annotate("", f.TSID, f.Seq)
+	}
+	defer esp.End()
 	lim := cq.Limits
 	if lim == (xcql.Limits{}) {
 		lim = cq.query.Limits
@@ -332,10 +378,11 @@ func (cq *ContinuousQuery) evaluateIncremental(f *fragment.Fragment) error {
 	if err != nil {
 		if reason, ok := governedFailure(err); ok {
 			cq.Invalidate(reason)
+			rec.Flag(tid, "degraded")
 			if cq.onResult != nil {
 				cq.onResult(Result{At: at, Degraded: reason})
 			}
-			cq.finishEval(start, 0, 0, reason)
+			cq.finishEval(start, 0, 0, reason, tid)
 			return nil
 		}
 		return err
@@ -347,19 +394,23 @@ func (cq *ContinuousQuery) evaluateIncremental(f *fragment.Fragment) error {
 	}
 	res := Result{At: at, Delta: delta, Degraded: cq.degraded}
 	cq.mu.Unlock()
+	if res.Degraded != "" {
+		rec.Flag(tid, "degraded")
+	}
 	if cq.onResult != nil {
 		cq.onResult(res)
 	}
-	cq.finishEval(start, int(stats.BufferedItems), len(res.Delta), res.Degraded)
+	cq.finishEval(start, int(stats.BufferedItems), len(res.Delta), res.Degraded, tid)
 	return nil
 }
 
 // finishEval records one completed evaluation: the ingest→result
-// latency (trigger to result delivered) and the evaluation counter, and
-// emits the per-evaluation log event.
-func (cq *ContinuousQuery) finishEval(start time.Time, items, delta int, degraded string) {
+// latency (trigger to result delivered, exemplified by the triggering
+// trace id when there is one) and the evaluation counter, and emits the
+// per-evaluation log event.
+func (cq *ContinuousQuery) finishEval(start time.Time, items, delta int, degraded string, traceID uint64) {
 	elapsed := time.Since(start)
-	cq.latency.Observe(elapsed)
+	cq.latency.ObserveExemplar(elapsed, traceID)
 	cq.mu.Lock()
 	cq.evals++
 	cq.mu.Unlock()

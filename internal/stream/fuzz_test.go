@@ -18,6 +18,8 @@ func FuzzReadFrame(f *testing.F) {
 	}
 	f.Add(frame(`<stream:eos latest="9"/>`))
 	f.Add(frame(`<filler id="1" tsid="2" validTime="2003-01-02T00:00:00" seq="3"><e/></filler>`))
+	f.Add(frame(`<filler id="1" tsid="2" validTime="2003-01-02T00:00:00" seq="3" trace="00000000deadbeef-0000000000000001"><e/></filler>`))
+	f.Add(frame(`<filler id="1" tsid="2" validTime="2003-01-02T00:00:00" seq="3" trace="junk"><e/></filler>`))
 	f.Add([]byte{0, 0, 0, 0})             // empty frame
 	f.Add([]byte{0xff, 0xff, 0xff, 0xff}) // 4 GiB length prefix
 	f.Add([]byte{0, 0, 0, 5, 'a', 'b'})   // truncated payload
@@ -46,6 +48,7 @@ func FuzzReadFrame(f *testing.F) {
 // payloads full of frame-header-looking bytes, nulls, and partial XML.
 func FuzzFrameRoundTrip(f *testing.F) {
 	f.Add([]byte(`<filler id="0" tsid="1" validTime="2003-01-02T00:00:00"><doc/></filler>`))
+	f.Add([]byte(`<filler id="0" tsid="1" validTime="2003-01-02T00:00:00" trace="0000000000000001-0000000000000002"><doc/></filler>`))
 	f.Add([]byte{0, 0, 0, 4})
 	f.Add([]byte("x"))
 	f.Add(bytes.Repeat([]byte{0xff}, 64))

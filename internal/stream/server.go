@@ -19,11 +19,13 @@
 package stream
 
 import (
+	"fmt"
 	"log/slog"
 	"sync"
 	"time"
 
 	"xcql/internal/fragment"
+	"xcql/internal/obs"
 	"xcql/internal/tagstruct"
 )
 
@@ -58,6 +60,20 @@ type Server struct {
 	durableBroken string // first write-through error; sticky
 	bootstraps    int64  // subscriptions bridged from the durable log
 	storageErrors int64  // durable write/read failures
+
+	// tracer, when set, stamps every published fragment with a fresh
+	// trace context (or joins one already carried by a relayed fragment)
+	// and records the publish span. Guarded by mu; nil = tracing off.
+	tracer *obs.FlightRecorder
+}
+
+// SetFlightRecorder attaches a flight recorder: every subsequent Publish
+// stamps the fragment with a trace context (Fragment.Trace, carried on
+// the wire) and records a "publish" root span. nil detaches.
+func (s *Server) SetFlightRecorder(rec *obs.FlightRecorder) {
+	s.mu.Lock()
+	s.tracer = rec
+	s.mu.Unlock()
 }
 
 // NewServer creates a server for the named stream.
@@ -225,6 +241,19 @@ func (s *Server) Publish(f *fragment.Fragment) {
 	s.nextSeq++
 	stamped := f.WithSeq(s.nextSeq)
 	stamped.PublishedAt = time.Now()
+	// root span of the fragment's journey: downstream layers (segstore,
+	// client delivery, registry evaluation/fan-out) parent to it through
+	// the trace context stamped on the fragment. A fragment arriving with
+	// a trace already on it (a relay) joins that trace instead.
+	var psp *obs.Span
+	if rec := s.tracer; rec != nil {
+		tc := stamped.Trace
+		if !tc.Valid() {
+			tc = rec.NewTrace()
+		}
+		psp = rec.Start(tc, "publish").Annotate(s.name, stamped.TSID, stamped.Seq)
+		stamped.Trace = psp.Context()
+	}
 	if stamped.ValidTime.After(s.watermark) {
 		s.watermark = stamped.ValidTime
 	}
@@ -253,6 +282,7 @@ func (s *Server) Publish(f *fragment.Fragment) {
 		// closed while the durable append was in flight: the frame is on
 		// disk (recovery will replay it) but there is nobody to deliver to
 		s.mu.Unlock()
+		psp.End()
 		return
 	}
 	s.history = append(s.history, stamped)
@@ -268,7 +298,15 @@ func (s *Server) Publish(f *fragment.Fragment) {
 			sub.droppedSeqs = append(sub.droppedSeqs, stamped.Seq)
 		}
 	}
+	rec := s.tracer
 	s.mu.Unlock()
+	if psp != nil {
+		psp.SetDetail(fmt.Sprintf("filler=%d subs_missed=%d", stamped.FillerID, drops))
+		psp.End()
+		if drops > 0 {
+			rec.Flag(stamped.Trace.TraceID, "overflow-drop")
+		}
+	}
 	if derr != nil {
 		if l := s.log(); l != nil {
 			l.LogAttrs(logCtx, slog.LevelError, "durable write-through failed, log marked broken",

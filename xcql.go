@@ -156,6 +156,29 @@ type (
 	Registry = obs.Registry
 	// Counter is a monotonically increasing atomic counter in a Registry.
 	Counter = obs.Counter
+	// TraceContext is a compact per-fragment trace identity (trace id +
+	// causal parent span) that rides fragments across the wire and links
+	// publish→fsync→eval→fanout→delivery into one span tree.
+	TraceContext = obs.TraceContext
+	// FlightRecorder is the bounded in-memory tracer: tail-sampled trace
+	// ring with p99/flag retention, /v1/tracez JSON, and an e2e latency
+	// histogram with per-bucket exemplars.
+	FlightRecorder = obs.FlightRecorder
+	// FlightRecorderOptions tune a FlightRecorder (ring capacity,
+	// sampling rate, quiescence window).
+	FlightRecorderOptions = obs.FlightRecorderOptions
+	// TraceRecord is one finalized trace in the recorder's ring.
+	TraceRecord = obs.TraceRecord
+	// TraceSpan is one span inside a TraceRecord.
+	TraceSpan = obs.TraceSpan
+	// Span is a live span handle from FlightRecorder.Start; all methods
+	// are safe on a nil receiver (tracing disabled).
+	Span = obs.Span
+	// TraceFilter selects traces from a FlightRecorder (stream, tsid,
+	// registration id).
+	TraceFilter = obs.TraceFilter
+	// FlightStats is a snapshot of a FlightRecorder's retention counters.
+	FlightStats = obs.FlightStats
 	// DialOptions tune a client's reconnect/backoff behaviour.
 	DialOptions = stream.DialOptions
 	// ServeOptions tune the TCP serving side (buffers, fault injection).
@@ -378,6 +401,24 @@ func (e *Engine) EvalContextStats(ctx context.Context, src string, at time.Time,
 // evaluation on this engine. Tracing is off by default and the disabled
 // path adds no allocations.
 func (e *Engine) SetTraceSink(s TraceSink) { e.rt.SetTraceSink(s) }
+
+// NewFlightRecorder returns a bounded in-memory tracer. Attach it to the
+// pieces whose spans should join one tree: Server/Client/SegStore/
+// ContinuousQuery SetFlightRecorder, Engine.SetFlightRecorder for the
+// standing-query registry. The zero-value options give a 256-trace ring
+// with 1-in-16 uniform sampling plus always-kept p99/flagged traces.
+func NewFlightRecorder(opts FlightRecorderOptions) *FlightRecorder {
+	return obs.NewFlightRecorder(opts)
+}
+
+// SetFlightRecorder wires a flight recorder into the engine's standing-
+// query registry: traced arrivals record registry.eval/fanout spans and
+// deliveries carry the trace id (RegistryResult.TraceID, WireResult
+// "trace"). nil detaches. The engine's QueryAPI exposes the recorder at
+// GET /v1/tracez via QueryAPI.SetFlightRecorder.
+func (e *Engine) SetFlightRecorder(rec *FlightRecorder) {
+	e.Registry().SetFlightRecorder(rec)
+}
 
 // DefaultRegistry is the process-wide metrics registry; streamdemo and
 // other long-running hosts register their servers and clients here.
