@@ -2,9 +2,9 @@
 GO       ?= go
 FUZZTIME ?= 10s
 
-.PHONY: check vet static build test race race-stream test-recovery test-diffharness test-diffharness-incremental test-registry trace-smoke fuzz-smoke bench bench-json bench-diff bench-diff-smoke
+.PHONY: check vet static build test race race-stream test-recovery test-diffharness test-diffharness-incremental test-registry test-labels trace-smoke fuzz-smoke bench bench-json bench-diff bench-diff-smoke
 
-check: vet static build race race-stream test-recovery test-diffharness test-diffharness-incremental test-registry trace-smoke bench-diff-smoke fuzz-smoke
+check: vet static build race race-stream test-recovery test-diffharness test-diffharness-incremental test-registry test-labels trace-smoke bench-diff-smoke fuzz-smoke
 
 vet:
 	$(GO) vet ./...
@@ -63,6 +63,17 @@ test-registry:
 	$(GO) test -race -run '^(TestRegistryEquivalence|TestRegistrySharedCostMonotonic)$$' -timeout 600s .
 	$(GO) test -race -run '^(TestRegistryChurnUnderFire|TestRegistryAdmissionOverload)$$' -timeout 120s ./internal/registry
 
+# The QaC++ label cell: the prefix labeler's property suite (document
+# order without hole walks, arrival-order stability, generation
+# invalidation on ingest/compaction), the crash-recover-then-relabel
+# case, and the four-plan stats chain (FillersScanned QaC++ <= QaC+ <
+# QaC < CaQ with HolesResolved pinned to 0 under QaC++), under the race
+# detector.
+test-labels:
+	$(GO) test -race -run '^TestLabel' -timeout 120s ./internal/fragment
+	$(GO) test -race -run '^TestRecoverThenLabel$$' -timeout 120s ./internal/segstore
+	$(GO) test -race -run '^(TestEvalStatsPopulated|TestFillersScannedMonotonic|TestTSIDIndexHitsOnlyUnderQaCPlus)$$' -timeout 120s .
+
 # End-to-end tracing acceptance: a chaos burst with the flight recorder
 # attached at every layer must produce a complete publish→fsync→eval→
 # fan-out→delivery span tree under one trace id, survive a forced
@@ -89,9 +100,9 @@ bench:
 # benchmarks (quick scales) as JSON — cost counters and latency quantiles
 # included — the cross-PR performance trajectory. Compare two snapshots
 # with bench-diff.
-BENCHOUT ?= BENCH_pr9.json
+BENCHOUT ?= BENCH_pr10.json
 bench-json:
-	( $(GO) test -run '^$$' -bench '^(BenchmarkFigure4|BenchmarkSelectivity|BenchmarkContinuous|BenchmarkParallelCache|BenchmarkRecovery|BenchmarkSnapshotBootstrap)$$' -benchmem -short . ; \
+	( $(GO) test -run '^$$' -bench '^(BenchmarkFigure4|BenchmarkPlanGrid|BenchmarkSelectivity|BenchmarkContinuous|BenchmarkParallelCache|BenchmarkRecovery|BenchmarkSnapshotBootstrap)$$' -benchmem -short . ; \
 	  $(GO) test -run '^$$' -bench '^BenchmarkIncrementalContinuous$$' -benchtime 300x -benchmem -short . ; \
 	  $(GO) test -run '^$$' -bench '^BenchmarkRegistryFanout$$' -benchtime 300x -benchmem -short . ; \
 	  $(GO) test -run '^$$' -bench '^BenchmarkTracePropagation$$' -benchmem -short . ) \

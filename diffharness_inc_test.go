@@ -185,34 +185,42 @@ func TestIncrementalArrivalOrder(t *testing.T) {
 				"shuffle2": ins.ShuffledFragments(seed*101 + 1),
 			}
 			for _, query := range ins.Queries {
+				// finals is keyed mode/order: every leg — either plan,
+				// any arrival order — must land on one standing result.
+				// Running QaC++ through the same grid is the label
+				// stability metamorphic: labels are minted from
+				// version-ordered groups, so a reordered history must
+				// label (and therefore assemble) identically.
 				finals := make(map[string]string)
-				for name, frags := range orders {
-					full := replayCQ(t, ins, frags, query.Src, xcql.QaCPlus, execConfigs[0], false)
-					inc := replayCQ(t, ins, frags, query.Src, xcql.QaCPlus, execConfigs[0], true)
-					if got, want := inc.String(), full.String(); got != want {
-						t.Fatalf("%s/%s order=%s: incremental diverged from full\nfull:\n%s\ninc:\n%s",
-							p, query.Name, name, harnessTruncate(want), harnessTruncate(got))
-					}
-					// no silent appearance: every line of the final result
-					// was emitted in some delta of this replay
-					emitted := make(map[string]bool)
-					for _, d := range inc.deltas {
-						for _, line := range strings.Split(d, "\n") {
-							emitted[line] = true
+				for _, mode := range []xcql.Mode{xcql.QaCPlus, xcql.QaCPlusPlus} {
+					for name, frags := range orders {
+						full := replayCQ(t, ins, frags, query.Src, mode, execConfigs[0], false)
+						inc := replayCQ(t, ins, frags, query.Src, mode, execConfigs[0], true)
+						if got, want := inc.String(), full.String(); got != want {
+							t.Fatalf("%s/%s/%s order=%s: incremental diverged from full\nfull:\n%s\ninc:\n%s",
+								p, query.Name, mode, name, harnessTruncate(want), harnessTruncate(got))
 						}
-					}
-					for _, line := range strings.Split(inc.final, "\n") {
-						if line != "" && !emitted[line] {
-							t.Fatalf("%s/%s order=%s: final item never emitted as delta: %s",
-								p, query.Name, name, harnessTruncate(line))
+						// no silent appearance: every line of the final result
+						// was emitted in some delta of this replay
+						emitted := make(map[string]bool)
+						for _, d := range inc.deltas {
+							for _, line := range strings.Split(d, "\n") {
+								emitted[line] = true
+							}
 						}
+						for _, line := range strings.Split(inc.final, "\n") {
+							if line != "" && !emitted[line] {
+								t.Fatalf("%s/%s/%s order=%s: final item never emitted as delta: %s",
+									p, query.Name, mode, name, harnessTruncate(line))
+							}
+						}
+						finals[mode.String()+"/"+name] = inc.final
 					}
-					finals[name] = inc.final
 				}
-				want := finals["doc"]
+				want := finals["QaC+/doc"]
 				for name, got := range finals {
 					if got != want {
-						t.Fatalf("%s/%s: final standing result depends on arrival order\ndoc:\n%s\n%s:\n%s",
+						t.Fatalf("%s/%s: final standing result depends on arrival order or plan\nQaC+/doc:\n%s\n%s:\n%s",
 							p, query.Name, harnessTruncate(want), name, harnessTruncate(got))
 					}
 				}

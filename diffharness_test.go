@@ -13,7 +13,7 @@ import (
 // both store kinds — crossed with randomized XCQL queries, evaluated
 // under every execution strategy the engine offers:
 //
-//	{CaQ, QaC, QaC+} × {sequential, parallel=4} × {uncached, cold cache, warm cache}
+//	{CaQ, QaC, QaC+, QaC++} × {sequential, parallel=4} × {uncached, cold cache, warm cache}
 //
 // Every combination must produce byte-identical output to the baseline
 // (CaQ, sequential, uncached). This pins the tentpole claim that
@@ -23,7 +23,7 @@ import (
 // shakes out data races in the worker pool and cache.
 
 // harnessModes mirrors evalbench.Modes without depending on it.
-var harnessModes = []xcql.Mode{xcql.CaQ, xcql.QaC, xcql.QaCPlus}
+var harnessModes = []xcql.Mode{xcql.CaQ, xcql.QaC, xcql.QaCPlus, xcql.QaCPlusPlus}
 
 // execConfig is one execution strategy applied to every plan.
 type execConfig struct {

@@ -44,6 +44,12 @@ type Store struct {
 	// it becomes queryable — the write-ahead rule: an error keeps the
 	// fragment out of memory entirely and fails the Add.
 	wal func(*Fragment) error
+
+	// labelIdx memoizes the Dewey prefix-label index (the QaC++ access
+	// path). It is stamped with the store generation at build time and
+	// rebuilt on demand when the generation has moved — the same
+	// stale-safe invalidation rule the materialization cache uses.
+	labelIdx atomic.Pointer[LabelIndex]
 }
 
 // NewStore returns an empty indexed store for the given tag structure.

@@ -219,11 +219,11 @@ func soleStream(plan xq.Expr) string {
 			names[t.Name] = true
 		case *xq.Call:
 			switch t.Name {
-			case xcql.FnView, xcql.FnRoot, xcql.FnByTSID:
+			case xcql.FnView, xcql.FnRoot, xcql.FnByTSID, xcql.FnByLabel:
 				if s := xcql.PlanLitString(t.Args, 0); s != "" {
 					names[s] = true
 				}
-			case xcql.FnFillers, xcql.FnFillersBatch:
+			case xcql.FnFillers, xcql.FnFillersBatch, xcql.FnLabelKids:
 				if s := xcql.PlanLitString(t.Args, 1); s != "" {
 					names[s] = true
 				}
@@ -294,9 +294,11 @@ func (e *Engine) decompose() []*piece {
 }
 
 // classify turns one plan strand into an indexed piece when it is a pure
-// fn:bytsid access on the bound stream, else a generic piece.
+// fn:bytsid (or its QaC++ label-range twin — identical unit output, so
+// the two plans share pieces and SharedPass signatures) access on the
+// bound stream, else a generic piece.
 func (e *Engine) classify(x xq.Expr, wrappers []wrapper) *piece {
-	if c, ok := x.(*xq.Call); ok && c.Name == xcql.FnByTSID && len(c.Args) >= 2 &&
+	if c, ok := x.(*xq.Call); ok && (c.Name == xcql.FnByTSID || c.Name == xcql.FnByLabel) && len(c.Args) >= 2 &&
 		xcql.PlanLitString(c.Args, 0) == e.stream {
 		tsids := make([]int, 0, len(c.Args)-1)
 		for i := 1; i < len(c.Args); i++ {
@@ -342,7 +344,7 @@ func (e *Engine) genericPiece(x xq.Expr) *piece {
 				} else {
 					p.broad = true
 				}
-			case xcql.FnFillers, xcql.FnFillersBatch:
+			case xcql.FnFillers, xcql.FnFillersBatch, xcql.FnLabelKids:
 				if xcql.PlanLitString(t.Args, 1) != e.stream {
 					p.broad = true
 				} else if id := xcql.PlanLitInt(t.Args, 2); id > 0 {
@@ -350,7 +352,7 @@ func (e *Engine) genericPiece(x xq.Expr) *piece {
 				} else {
 					p.broad = true
 				}
-			case xcql.FnByTSID:
+			case xcql.FnByTSID, xcql.FnByLabel:
 				if xcql.PlanLitString(t.Args, 0) != e.stream {
 					p.broad = true
 					break

@@ -47,7 +47,7 @@ import (
 // populates them on every Eval/EvalContext call; read them back with
 // Query.LastStats or Engine.EvalContextStats.
 type EvalStats struct {
-	// Plan is the physical plan that ran ("CaQ", "QaC", "QaC+").
+	// Plan is the physical plan that ran ("CaQ", "QaC", "QaC+", "QaC++").
 	Plan string
 
 	// FillersScanned counts filler versions examined by store lookups.
@@ -64,6 +64,16 @@ type EvalStats struct {
 	TSIDLookups     int64
 	TSIDIndexHits   int64
 	TSIDIndexMisses int64
+	// LabelRangeLookups counts label-index fetches issued by the QaC++
+	// plan (root access, batched child steps, descendant label-range
+	// scans, projection and materialization hole crossings);
+	// LabelRangeHits is the filler versions they returned and
+	// LabelRangeMisses the fetches that found none. Zero under the other
+	// plans — and under QaC++ HolesResolved and FillersScanned stay zero,
+	// since every access is an index fetch, not a hole walk or log pass.
+	LabelRangeLookups int64
+	LabelRangeHits    int64
+	LabelRangeMisses  int64
 	// BytesMaterialized approximates the bytes of XML materialized during
 	// the evaluation: temporal views, resolved filler clones, constructed
 	// elements. Mirrors the byte budget's accounting.
@@ -152,6 +162,20 @@ func (s *EvalStats) AddTSIDLookup(fillers int) {
 	}
 }
 
+// AddLabelRangeLookup records one label-index fetch that returned
+// `fillers` versions.
+func (s *EvalStats) AddLabelRangeLookup(fillers int) {
+	if s == nil {
+		return
+	}
+	atomic.AddInt64(&s.LabelRangeLookups, 1)
+	if fillers > 0 {
+		atomic.AddInt64(&s.LabelRangeHits, int64(fillers))
+	} else {
+		atomic.AddInt64(&s.LabelRangeMisses, 1)
+	}
+}
+
 // AddNodes records n constructed elements.
 func (s *EvalStats) AddNodes(n int) {
 	if s != nil {
@@ -232,6 +256,10 @@ func (s *EvalStats) String() string {
 		s.Plan, s.FillersScanned, s.HolesResolved, s.TSIDIndexHits, s.TSIDIndexMisses,
 		s.BytesMaterialized, s.NodesConstructed, s.Steps, s.Items,
 		s.ExecTime.Round(time.Microsecond), s.MaterializeTime.Round(time.Microsecond))
+	if s.LabelRangeLookups > 0 {
+		line += fmt.Sprintf(" label-lookups=%d label-hits=%d label-misses=%d",
+			s.LabelRangeLookups, s.LabelRangeHits, s.LabelRangeMisses)
+	}
 	if s.CacheHits > 0 || s.CacheMisses > 0 {
 		line += fmt.Sprintf(" cache-hits=%d cache-misses=%d", s.CacheHits, s.CacheMisses)
 	}

@@ -109,8 +109,8 @@ func (a *API) SetClock(clock func() time.Time) {
 type RegisterRequest struct {
 	// Query is the XCQL source text.
 	Query string `json:"query"`
-	// Mode selects the physical plan ("CaQ", "QaC", "QaC+"); empty
-	// means QaC+.
+	// Mode selects the physical plan ("CaQ", "QaC", "QaC+", "QaC++");
+	// empty means QaC+.
 	Mode string `json:"mode,omitempty"`
 	// Incremental selects delta evaluation through the incremental
 	// engine.

@@ -228,6 +228,67 @@ func ResolveIDs(ids []int, resolve HoleResolver, parallelism int, wait *obs.Hist
 	return p.memo
 }
 
+// AssembleParallel runs fill(0..n-1) on a bounded worker pool — the
+// QaC++ label-ordered assembly: each index fills one result slot whose
+// position (document order) the labels fixed before assembly started,
+// and slots share no mutable state, so the fills commute and the output
+// is byte-identical to the sequential loop. Panics from fill (budget
+// trips) are captured, the pool drains, and the first panic re-raises
+// on the caller — the same discipline as the resolution pool.
+// parallelism <= 1 or n < 2 degrades to an inline loop.
+func AssembleParallel(n, parallelism int, fill func(i int), wait *obs.Histogram, stats *obs.EvalStats) {
+	if parallelism <= 1 || n < 2 {
+		for i := 0; i < n; i++ {
+			fill(i)
+		}
+		return
+	}
+	if parallelism > n {
+		parallelism = n
+	}
+	var (
+		mu      sync.Mutex
+		next    int
+		aborted any
+	)
+	start := time.Now()
+	var wg sync.WaitGroup
+	wg.Add(parallelism)
+	for w := 0; w < parallelism; w++ {
+		go func() {
+			defer wg.Done()
+			for {
+				mu.Lock()
+				if aborted != nil || next >= n {
+					mu.Unlock()
+					return
+				}
+				i := next
+				next++
+				mu.Unlock()
+				wait.Observe(time.Since(start))
+				stats.AddParallelTasks(1)
+				func() {
+					defer func() {
+						if r := recover(); r != nil {
+							mu.Lock()
+							if aborted == nil {
+								aborted = r
+							}
+							mu.Unlock()
+						}
+					}()
+					fill(i)
+				}()
+			}
+		}()
+	}
+	wg.Wait()
+	if aborted != nil {
+		panic(aborted)
+	}
+}
+
 // Prefetch resolves, in parallel, the transitive hole closure reachable
 // from roots — exactly the id set a sequential recursive walk
 // (Temporalize, fillHoles) would resolve, since that set is independent

@@ -38,6 +38,21 @@ func ObservedStoreResolver(st *fragment.Store, at time.Time, s *obs.EvalStats) H
 	}
 }
 
+// LabelResolver adapts a store's label index to a HoleResolver at a
+// fixed evaluation instant — the QaC++ path: every resolution is an
+// index fetch (no log pass, no hole counted as resolved) charged to the
+// label-range counters. A nil s degrades to the uncounted fetch.
+func LabelResolver(idx *fragment.LabelIndex, at time.Time, s *obs.EvalStats) HoleResolver {
+	if s == nil {
+		return func(holeID int) []*xmldom.Node { return idx.Fillers(holeID, at) }
+	}
+	return func(holeID int) []*xmldom.Node {
+		els := idx.Fillers(holeID, at)
+		s.AddLabelRangeLookup(len(els))
+		return els
+	}
+}
+
 // BudgetResolver wraps a HoleResolver so every hole expansion charges
 // the budget: one step per resolution (which also polls cancellation),
 // plus the cardinality and tree bytes of the returned filler versions.

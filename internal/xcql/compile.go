@@ -10,13 +10,15 @@ import (
 // Intrinsic function names emitted by the translator and implemented by
 // the Runtime. The prefix keeps them out of the user namespace.
 const (
-	fnView     = "xcql:view"     // (stream)            materialized temporal view (CaQ)
-	fnRoot     = "xcql:root"     // (stream)            root filler payload versions (QaC)
-	fnFillers  = "xcql:fillers"  // (nodes, stream, tsid) cross holes, one get_fillers scan per hole (QaC)
-	fnFillersB = "xcql:fillersb" // (nodes, stream, tsid) cross holes, batched single pass (QaC+)
-	fnByTSID   = "xcql:bytsid"   // (stream, tsid…)     all filler versions with a tsid (QaC+)
-	fnIProj    = "xcql:iproj"    // (nodes, tb[, te], stream) interval projection over fragments
-	fnVProj    = "xcql:vproj"    // (nodes, vb, ve, stream)   version projection over fragments
+	fnView      = "xcql:view"      // (stream)            materialized temporal view (CaQ)
+	fnRoot      = "xcql:root"      // (stream)            root filler payload versions (QaC)
+	fnFillers   = "xcql:fillers"   // (nodes, stream, tsid) cross holes, one get_fillers scan per hole (QaC)
+	fnFillersB  = "xcql:fillersb"  // (nodes, stream, tsid) cross holes, batched single pass (QaC+)
+	fnByTSID    = "xcql:bytsid"    // (stream, tsid…)     all filler versions with a tsid (QaC+)
+	fnIProj     = "xcql:iproj"     // (nodes, tb[, te], stream) interval projection over fragments
+	fnVProj     = "xcql:vproj"     // (nodes, vb, ve, stream)   version projection over fragments
+	fnByLabel   = "xcql:bylabel"   // (stream, tsid…)     label-range scan: all fillers with a tsid, served from the label index (QaC++)
+	fnLabelKids = "xcql:labelkids" // (nodes, stream, tsid) cross holes via the label index, zero log scans (QaC++)
 )
 
 // typedTag is a (stream, tag) pair: the static type the translator tracks
@@ -77,12 +79,27 @@ func (c *compiler) docTag(stream string) *tagstruct.Tag {
 
 // fillersFn picks the hole-crossing intrinsic for the mode: QaC loops one
 // get_fillers scan per hole (the paper's translation); QaC+ uses the
-// batched single-pass variant (§8's unnested/join get_fillers).
+// batched single-pass variant (§8's unnested/join get_fillers); QaC++
+// answers the same batch from the prefix-label index without touching
+// the fragment log.
 func (c *compiler) fillersFn() string {
-	if c.mode == QaCPlus {
+	switch c.mode {
+	case QaCPlus:
 		return fnFillersB
+	case QaCPlusPlus:
+		return fnLabelKids
+	default:
+		return fnFillers
 	}
-	return fnFillers
+}
+
+// byTSIDFn picks the whole-stream descendant intrinsic: the tsid index
+// for QaC+, the label-range scan for QaC++.
+func (c *compiler) byTSIDFn() string {
+	if c.mode == QaCPlusPlus {
+		return fnByLabel
+	}
+	return fnByTSID
 }
 
 // isStreamTop reports whether the tag denotes the whole stream (the
@@ -455,7 +472,7 @@ func (c *compiler) rewriteDescendantStep(base xq.Expr, baseTS typeSet, step xq.S
 			continue
 		}
 		targets := s.NamedUnder(tt.tag, step.Name)
-		if c.mode == QaCPlus && c.isStreamTop(tt) {
+		if (c.mode == QaCPlus || c.mode == QaCPlusPlus) && c.isStreamTop(tt) {
 			// whole-stream descendant: fetch fragmented targets directly by
 			// tsid; purely-snapshot targets still need path chains
 			var tsids []xq.Expr
@@ -473,7 +490,7 @@ func (c *compiler) rewriteDescendantStep(base xq.Expr, baseTS typeSet, step xq.S
 			}
 			if len(tsids) > 0 {
 				args := append([]xq.Expr{lit(tt.stream)}, tsids...)
-				pieces = append(pieces, &xq.Call{Name: fnByTSID, Args: args})
+				pieces = append(pieces, &xq.Call{Name: c.byTSIDFn(), Args: args})
 			}
 			continue
 		}

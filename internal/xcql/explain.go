@@ -17,7 +17,7 @@ import (
 // counted. The prediction uses the same units as obs.EvalStats, so
 // predicted and observed read side by side.
 type Explain struct {
-	// Plan is the physical plan ("CaQ", "QaC", "QaC+").
+	// Plan is the physical plan ("CaQ", "QaC", "QaC+", "QaC++").
 	Plan string
 	// Source is the original query text; Rewritten is the translated
 	// engine expression the evaluator runs.
@@ -72,7 +72,9 @@ type ExplainTarget struct {
 	// Op names the access path: "materialize-view" (CaQ), "root",
 	// "get_fillers" (QaC, one pass per hole), "get_fillers_batched"
 	// (QaC+, one pass for all holes), "tsid-index" (QaC+ descendant
-	// shortcut), "interval-projection", "version-projection".
+	// shortcut), "label-range" (QaC++ descendant scan over the label
+	// index), "label-kids" (QaC++ batched child step off the label
+	// index), "interval-projection", "version-projection".
 	Op     string
 	Stream string
 	// TSID and Tag identify the targeted tag-structure node for the
@@ -226,6 +228,13 @@ func (q *Query) explainCall(call *xq.Call) (ExplainTarget, bool) {
 		// several same-named fragmented tags under distinct parents.
 		t := ExplainTarget{Op: "tsid-index", Stream: litString(call.Args, 0), TSID: litInt(call.Args, 1)}
 		return q.censusTSID(t), true
+	case fnByLabel:
+		// same first-tsid convention as fnByTSID above
+		t := ExplainTarget{Op: "label-range", Stream: litString(call.Args, 0), TSID: litInt(call.Args, 1)}
+		return q.censusLabel(t), true
+	case fnLabelKids:
+		t := ExplainTarget{Op: "label-kids", Stream: litString(call.Args, 1), TSID: litInt(call.Args, 2)}
+		return q.censusLabel(t), true
 	case fnIProj:
 		return ExplainTarget{Op: "interval-projection", Stream: litString(call.Args, len(call.Args)-1)}, true
 	case fnVProj:
@@ -252,6 +261,23 @@ func (q *Query) censusTSID(t ExplainTarget) ExplainTarget {
 	t.Holes = len(ids)
 	t.Versions = len(versions)
 	t.CostPerPass = st.LookupCost(len(versions))
+	return t
+}
+
+// censusLabel fills a QaC++ target from the label index: the index
+// fetch returns exactly the stored versions under the tsid, so the cost
+// of one pass is the returned versions — never a log scan, even on a
+// scan-mode store. That gap is the QaC++ speedup EXPLAIN predicts.
+func (q *Query) censusLabel(t ExplainTarget) ExplainTarget {
+	st := q.rt.Store(t.Stream)
+	if st == nil {
+		return t
+	}
+	if tag := st.Structure().ByID(t.TSID); tag != nil {
+		t.Tag = tag.Name
+	}
+	t.Holes, t.Versions = st.Labels().TSIDCensus(t.TSID)
+	t.CostPerPass = t.Versions
 	return t
 }
 
@@ -294,7 +320,17 @@ func (q *Query) predict(p *obs.EvalStats, t ExplainTarget) {
 	case "tsid-index":
 		p.AddTSIDLookup(t.Versions)
 		p.FillersScanned += int64(t.CostPerPass)
+	case "label-range", "label-kids":
+		// QaC++: an index fetch, no holes and no log pass
+		p.AddLabelRangeLookup(t.Versions)
 	case "root":
+		if q.Mode == QaCPlusPlus {
+			// QaC++ serves the root from the label index too
+			if st := q.rt.Store(t.Stream); st != nil {
+				p.AddLabelRangeLookup(st.Labels().VersionCount(fragment.RootFillerID))
+			}
+			break
+		}
 		// one lookup for the root filler's versions
 		p.FillersScanned += int64(rootVersions(q.rt.Store(t.Stream), scanning))
 	}
@@ -370,8 +406,12 @@ func (ex Explain) String() string {
 
 // statsLine renders the cost counters predicted and observed share.
 func statsLine(s obs.EvalStats) string {
-	return fmt.Sprintf("fillers-scanned=%d holes-resolved=%d tsid-lookups=%d tsid-hits=%d",
+	line := fmt.Sprintf("fillers-scanned=%d holes-resolved=%d tsid-lookups=%d tsid-hits=%d",
 		s.FillersScanned, s.HolesResolved, s.TSIDLookups, s.TSIDIndexHits)
+	if s.LabelRangeLookups > 0 {
+		line += fmt.Sprintf(" label-lookups=%d label-hits=%d", s.LabelRangeLookups, s.LabelRangeHits)
+	}
+	return line
 }
 
 // walkExpr visits e and every sub-expression, calling fn on each node in

@@ -10,7 +10,7 @@ import (
 )
 
 // FuzzCompile shakes the whole query path: arbitrary source text is
-// compiled under all three plans, and whatever compiles is evaluated
+// compiled under all four plans, and whatever compiles is evaluated
 // over the running-example store under a tight budget. The contract
 // under fuzz input is "typed error or result, never a panic": the engine
 // boundary must absorb evaluator panics (EvalError.Stack set means an
@@ -27,6 +27,9 @@ func FuzzCompile(f *testing.F) {
 		`declare function f($x) { if ($x = 0) then 0 else f($x - 1) }; f(3)`,
 		`declare function boom($x) { boom($x + 1) }; boom(0)`,
 		`stream("credit")//status?[start,now]`,
+		// descendant step straight off the stream: the shape QaC++
+		// compiles to a label-range scan (fnByLabel)
+		`for $s in stream("credit")//status return $s`,
 		`get_fillers(1)`,
 		`((((`,
 		`for $x in`,

@@ -1,6 +1,6 @@
 // Package xcql is the paper's primary contribution: the XCQL compiler
 // that translates temporal queries over the virtual temporal view into
-// plain engine queries over the fragmented stream (Figure 3), under three
+// plain engine queries over the fragmented stream (Figure 3), under four
 // physical plans:
 //
 //   - CaQ  (Construct-and-Query): materialize the whole temporal document,
@@ -10,6 +10,9 @@
 //   - QaC+ (tsid-indexed QaC): jump straight to the fillers a descendant
 //     step needs using the tsid index, skipping hole reconciliation on
 //     levels the query never touches.
+//   - QaC++ (prefix-labeled QaC+): serve every access from the store's
+//     Dewey-label index, so evaluation never resolves a hole and never
+//     scans the fragment log — assembly order comes from the labels.
 //
 // The evaluator is shared across plans; only the rewritten access paths
 // differ, so measured differences between modes are plan differences —
@@ -30,6 +33,11 @@ const (
 	// QaCPlus is QaC with the tsid index: descendant steps over the whole
 	// stream fetch exactly the fillers they need.
 	QaCPlus
+	// QaCPlusPlus is QaC+ with Dewey-style prefix labels: every access —
+	// root, batched children, descendant jumps, projections and hole
+	// materialization — is served from the store's label index, so the
+	// plan resolves zero holes and performs zero log scans.
+	QaCPlusPlus
 )
 
 // String returns the paper's spelling of the mode.
@@ -41,6 +49,8 @@ func (m Mode) String() string {
 		return "QaC"
 	case QaCPlus:
 		return "QaC+"
+	case QaCPlusPlus:
+		return "QaC++"
 	default:
 		return fmt.Sprintf("Mode(%d)", uint8(m))
 	}
@@ -55,7 +65,9 @@ func ParseMode(s string) (Mode, error) {
 		return QaC, nil
 	case "QaC+", "qac+", "QaCPlus":
 		return QaCPlus, nil
+	case "QaC++", "qac++", "QaCPlusPlus":
+		return QaCPlusPlus, nil
 	default:
-		return 0, fmt.Errorf("xcql: unknown mode %q (want CaQ, QaC or QaC+)", s)
+		return 0, fmt.Errorf("xcql: unknown mode %q (want CaQ, QaC, QaC+ or QaC++)", s)
 	}
 }

@@ -374,7 +374,7 @@ func (q *Query) eval(ctx context.Context, at time.Time, lim Limits, materialize 
 	if par > 1 {
 		wait = obs.NewHistogram()
 	}
-	static := q.rt.newStatic(at, b, stats, par, cache, wait)
+	static := q.rt.newStatic(at, b, stats, par, cache, wait, q.Mode)
 	start := time.Now()
 	defer func() {
 		if p := recover(); p != nil {
@@ -411,7 +411,7 @@ func (q *Query) eval(ctx context.Context, at time.Time, lim Limits, materialize 
 	}
 	if materialize {
 		matStart := time.Now()
-		seq = q.rt.materializeResult(seq, static)
+		seq = q.rt.materializeResult(seq, static, q.Mode)
 		stats.MaterializeTime = time.Since(matStart)
 		if sink != nil {
 			sink.Span("materialize", q.Mode.String(), matStart, stats.MaterializeTime)
@@ -432,16 +432,28 @@ func (q *Query) wrapResource(err error) error {
 
 // newStatic assembles the evaluation environment: intrinsics, user
 // functions, the resolvers, the evaluation's resource budget, and the
-// parallelism/cache execution options.
-func (rt *Runtime) newStatic(at time.Time, b *budget.Budget, s *obs.EvalStats, par int, cache *fragment.Cache, wait *obs.Histogram) *xq.Static {
+// parallelism/cache execution options. Under QaCPlusPlus the root,
+// projection and hole-materialization paths are swapped for their
+// label-index-served variants, so a QaC++ evaluation never scans the
+// fragment log and never resolves a hole.
+func (rt *Runtime) newStatic(at time.Time, b *budget.Budget, s *obs.EvalStats, par int, cache *fragment.Cache, wait *obs.Histogram, mode Mode) *xq.Static {
 	funcs := map[string]xq.Func{
-		fnView:     rt.intrView,
-		fnRoot:     rt.intrRoot,
-		fnFillers:  rt.intrFillers,
-		fnFillersB: rt.intrFillersBatch,
-		fnByTSID:   rt.intrByTSID,
-		fnIProj:    rt.intrIProj,
-		fnVProj:    rt.intrVProj,
+		fnView:      rt.intrView,
+		fnRoot:      rt.intrRoot,
+		fnFillers:   rt.intrFillers,
+		fnFillersB:  rt.intrFillersBatch,
+		fnByTSID:    rt.intrByTSID,
+		fnIProj:     rt.intrIProj,
+		fnVProj:     rt.intrVProj,
+		fnByLabel:   rt.intrByLabel,
+		fnLabelKids: rt.intrLabelKids,
+	}
+	holes := temporal.BudgetResolver(b, rt.combinedResolver(at, s, cache))
+	if mode == QaCPlusPlus {
+		funcs[fnRoot] = rt.intrRootLabeled
+		funcs[fnIProj] = rt.intrIProjLabeled
+		funcs[fnVProj] = rt.intrVProjLabeled
+		holes = temporal.BudgetResolver(b, rt.labelResolver(at, s))
 	}
 	rt.mu.RLock()
 	for name, f := range rt.funcs {
@@ -459,7 +471,7 @@ func (rt *Runtime) newStatic(at time.Time, b *budget.Budget, s *obs.EvalStats, p
 			}
 			return nil, fmt.Errorf("xcql: unknown document %q", uri)
 		},
-		Holes:       temporal.BudgetResolver(b, rt.combinedResolver(at, s, cache)),
+		Holes:       holes,
 		Budget:      b,
 		Stats:       s,
 		Parallelism: par,
@@ -493,6 +505,26 @@ func (rt *Runtime) combinedResolver(at time.Time, s *obs.EvalStats, cache *fragm
 				}
 				s.AddFillers(st.LookupCost(len(els)))
 			}
+			if len(els) > 0 {
+				return els
+			}
+		}
+		return nil
+	}
+}
+
+// labelResolver resolves hole ids across all registered stores through
+// their label indexes: no log pass ever runs and no hole is counted as
+// resolved — each store tried charges one label-range lookup instead.
+// This is the QaC++ materialization path; HolesResolved stays 0 by
+// construction.
+func (rt *Runtime) labelResolver(at time.Time, s *obs.EvalStats) temporal.HoleResolver {
+	return func(holeID int) []*xmldom.Node {
+		rt.mu.RLock()
+		defer rt.mu.RUnlock()
+		for _, st := range rt.stores {
+			els := st.Labels().Fillers(holeID, at)
+			s.AddLabelRangeLookup(len(els))
 			if len(els) > 0 {
 				return els
 			}
@@ -574,6 +606,25 @@ func (rt *Runtime) intrRoot(ctx *xq.Context, args []xq.Sequence) (xq.Sequence, e
 		return nil, nil
 	}
 	// only the current version of the root document is the stream's face
+	doc := xmldom.NewDocument()
+	doc.AppendChild(els[len(els)-1])
+	return xq.Singleton(doc), nil
+}
+
+// intrRootLabeled is the QaC++ root access: the root filler's versions
+// come from the label index's version groups, so the call costs one
+// label-range lookup and zero log scans (intrRoot's pass would cost a
+// whole-log scan on the scan-mode store).
+func (rt *Runtime) intrRootLabeled(ctx *xq.Context, args []xq.Sequence) (xq.Sequence, error) {
+	st, err := rt.storeOrErr(argString(args, 0))
+	if err != nil {
+		return nil, err
+	}
+	els := st.Labels().Fillers(fragment.RootFillerID, ctx.Static.Now)
+	ctx.Static.Stats.AddLabelRangeLookup(len(els))
+	if len(els) == 0 {
+		return nil, nil
+	}
 	doc := xmldom.NewDocument()
 	doc.AppendChild(els[len(els)-1])
 	return xq.Singleton(doc), nil
@@ -790,7 +841,108 @@ func (rt *Runtime) intrByTSID(ctx *xq.Context, args []xq.Sequence) (xq.Sequence,
 	return out, nil
 }
 
+// intrLabelKids is the QaC++ flavour of the batched get_fillers: the
+// whole hole-id set of a child step is answered from the label index in
+// input order — identical output to intrFillersBatch, zero log scans,
+// zero holes resolved. The batch charges one label-range lookup.
+func (rt *Runtime) intrLabelKids(ctx *xq.Context, args []xq.Sequence) (xq.Sequence, error) {
+	if len(args) != 3 {
+		return nil, fmt.Errorf("xcql: %s wants (nodes, stream, tsid)", fnLabelKids)
+	}
+	st, err := rt.storeOrErr(argString(args, 1))
+	if err != nil {
+		return nil, err
+	}
+	if len(args[2]) == 0 {
+		return nil, fmt.Errorf("xcql: empty tsid argument")
+	}
+	tsid := int(xq.NumberValue(args[2][0]))
+	var ids []int
+	seen := make(map[int]bool)
+	var out xq.Sequence
+	for _, n := range xq.Nodes(args[0]) {
+		holeIDs := fragment.HoleIDs(n, tsid)
+		if len(holeIDs) == 0 {
+			// materialized input: versions sit inline (see intrFillers)
+			if tag := st.Structure().ByID(tsid); tag != nil {
+				for _, c := range n.ChildElements(tag.Name) {
+					out = append(out, c)
+				}
+			}
+			continue
+		}
+		for _, id := range holeIDs {
+			if !seen[id] {
+				seen[id] = true
+				ids = append(ids, id)
+			}
+		}
+	}
+	if len(ids) > 0 {
+		els := st.Labels().FillersList(ids, ctx.Static.Now)
+		ctx.Static.Stats.AddLabelRangeLookup(len(els))
+		for _, el := range els {
+			out = append(out, el)
+		}
+	}
+	if err := chargeNodes(ctx.Static.Budget, out); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// intrByLabel is the QaC++ whole-stream descendant access: all filler
+// versions under the given tsids, grouped by filler id ascending —
+// byte-identical to intrByTSID — served from the label index with zero
+// log scans.
+func (rt *Runtime) intrByLabel(ctx *xq.Context, args []xq.Sequence) (xq.Sequence, error) {
+	if len(args) < 2 {
+		return nil, fmt.Errorf("xcql: %s wants (stream, tsid…)", fnByLabel)
+	}
+	st, err := rt.storeOrErr(argString(args, 0))
+	if err != nil {
+		return nil, err
+	}
+	idx := st.Labels()
+	var out xq.Sequence
+	for _, a := range args[1:] {
+		if len(a) == 0 {
+			continue
+		}
+		tsid := int(xq.NumberValue(a[0]))
+		els := idx.FillersByTSID(tsid, ctx.Static.Now)
+		ctx.Static.Stats.AddLabelRangeLookup(len(els))
+		for _, el := range els {
+			out = append(out, el)
+		}
+	}
+	if err := chargeNodes(ctx.Static.Budget, out); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
 func (rt *Runtime) intrIProj(ctx *xq.Context, args []xq.Sequence) (xq.Sequence, error) {
+	return rt.iproj(ctx, args, false)
+}
+
+// intrIProjLabeled is the QaC++ interval projection: hole crossing
+// during clipping resolves through the label index.
+func (rt *Runtime) intrIProjLabeled(ctx *xq.Context, args []xq.Sequence) (xq.Sequence, error) {
+	return rt.iproj(ctx, args, true)
+}
+
+// projResolver picks the hole resolver a projection intrinsic slices
+// with: the observed store resolver (one log pass per hole), or the
+// label-index resolver under QaC++.
+func projResolver(st *fragment.Store, at time.Time, s *obs.EvalStats, b *budget.Budget, labeled bool) temporal.HoleResolver {
+	if labeled {
+		return temporal.BudgetResolver(b, temporal.LabelResolver(st.Labels(), at, s))
+	}
+	return temporal.BudgetResolver(b, temporal.ObservedStoreResolver(st, at, s))
+}
+
+func (rt *Runtime) iproj(ctx *xq.Context, args []xq.Sequence, labeled bool) (xq.Sequence, error) {
 	if len(args) != 4 {
 		return nil, fmt.Errorf("xcql: %s wants (nodes, tb, te, stream)", fnIProj)
 	}
@@ -809,7 +961,7 @@ func (rt *Runtime) intrIProj(ctx *xq.Context, args []xq.Sequence) (xq.Sequence, 
 	window := xtime.NewInterval(from, to)
 	at := ctx.Static.Now
 	nodes := xq.Nodes(args[0])
-	resolve := temporal.BudgetResolver(ctx.Static.Budget, temporal.ObservedStoreResolver(st, at, ctx.Static.Stats))
+	resolve := projResolver(st, at, ctx.Static.Stats, ctx.Static.Budget, labeled)
 	out := xq.FromNodes(temporal.IntervalProjection(nodes, window, at, resolve))
 	if err := ctx.Static.Budget.AddItems(len(out)); err != nil {
 		return nil, err
@@ -825,6 +977,16 @@ func endpointDateTime(seq xq.Sequence) (xtime.DateTime, bool) {
 }
 
 func (rt *Runtime) intrVProj(ctx *xq.Context, args []xq.Sequence) (xq.Sequence, error) {
+	return rt.vproj(ctx, args, false)
+}
+
+// intrVProjLabeled is the QaC++ version projection: hole crossing
+// during version slicing resolves through the label index.
+func (rt *Runtime) intrVProjLabeled(ctx *xq.Context, args []xq.Sequence) (xq.Sequence, error) {
+	return rt.vproj(ctx, args, true)
+}
+
+func (rt *Runtime) vproj(ctx *xq.Context, args []xq.Sequence, labeled bool) (xq.Sequence, error) {
 	if len(args) != 4 {
 		return nil, fmt.Errorf("xcql: %s wants (nodes, vb, ve, stream)", fnVProj)
 	}
@@ -844,7 +1006,7 @@ func (rt *Runtime) intrVProj(ctx *xq.Context, args []xq.Sequence) (xq.Sequence, 
 	}
 	at := ctx.Static.Now
 	nodes := xq.Nodes(args[0])
-	resolve := temporal.BudgetResolver(ctx.Static.Budget, temporal.ObservedStoreResolver(st, at, ctx.Static.Stats))
+	resolve := projResolver(st, at, ctx.Static.Stats, ctx.Static.Budget, labeled)
 	out := xq.FromNodes(temporal.VersionProjection(nodes, window, at, resolve))
 	if err := ctx.Static.Budget.AddItems(len(out)); err != nil {
 		return nil, err
@@ -880,8 +1042,35 @@ func endpointVersion(seq xq.Sequence) (n int, last, ok bool) {
 // id once for the whole result; the sequential path deliberately keeps
 // its one-seen-map-per-item charging (the pre-existing behaviour), so
 // budget/stats totals — not results — may differ between the two.
-func (rt *Runtime) materializeResult(seq xq.Sequence, static *xq.Static) xq.Sequence {
+// Under QaCPlusPlus the resolver is the label resolver and — because
+// every result item fills independently (each item carries its own
+// seen map) while the output order is fixed by the items' positions,
+// which the labels already determined — the per-item assembly itself
+// runs on the worker pool when Parallelism allows. This is the
+// label-ordered parallel assembly PR 5 deliberately kept sequential:
+// without labels, output order was only derivable by walking holes.
+func (rt *Runtime) materializeResult(seq xq.Sequence, static *xq.Static, mode Mode) xq.Sequence {
 	s := static.Stats
+	if mode == QaCPlusPlus {
+		resolver := temporal.BudgetResolver(static.Budget, rt.labelResolver(static.Now, s))
+		out := make(xq.Sequence, len(seq))
+		fill := func(i int) {
+			it := seq[i]
+			if n, ok := it.(*xmldom.Node); ok && hasHoles(n) {
+				out[i] = fillHoles(n, resolver, make(map[int]bool), s)
+			} else {
+				out[i] = it
+			}
+		}
+		if static.Parallelism > 1 && len(seq) > 1 {
+			temporal.AssembleParallel(len(seq), static.Parallelism, fill, static.Wait, s)
+		} else {
+			for i := range seq {
+				fill(i)
+			}
+		}
+		return out
+	}
 	resolver := temporal.BudgetResolver(static.Budget, rt.combinedResolver(static.Now, s, static.Cache))
 	if static.Parallelism > 1 {
 		var holed []*xmldom.Node

@@ -27,6 +27,11 @@ const (
 	FnFillersBatch = fnFillersB
 	// FnByTSID jumps straight to every filler with a tsid (QaC+).
 	FnByTSID = fnByTSID
+	// FnByLabel is the QaC++ label-range scan: every filler with a tsid,
+	// served from the prefix-label index.
+	FnByLabel = fnByLabel
+	// FnLabelKids crosses holes through the label index (QaC++).
+	FnLabelKids = fnLabelKids
 	// FnIProj is the compiled interval projection e?[t1,t2].
 	FnIProj = fnIProj
 	// FnVProj is the compiled version projection e#[v1,v2].
@@ -72,7 +77,7 @@ func (q *Query) RecordStats(s *obs.EvalStats) { q.storeStats(s) }
 // step/byte/deadline-bounded by lim.
 func (q *Query) EvalSubPlan(e xq.Expr, at time.Time, lim Limits, stats *obs.EvalStats, materialize bool) (seq xq.Sequence, err error) {
 	b := budget.New(context.Background(), lim)
-	static := q.rt.newStatic(at, b, stats, 1, nil, nil)
+	static := q.rt.newStatic(at, b, stats, 1, nil, nil, q.Mode)
 	defer func() {
 		if p := recover(); p != nil {
 			seq = nil
@@ -93,7 +98,7 @@ func (q *Query) EvalSubPlan(e xq.Expr, at time.Time, lim Limits, stats *obs.Eval
 		return nil, q.wrapResource(err)
 	}
 	if materialize {
-		seq = q.rt.materializeResult(seq, static)
+		seq = q.rt.materializeResult(seq, static, q.Mode)
 	}
 	if stats != nil {
 		// Query.eval copies the budget's totals into the stats at the

@@ -90,9 +90,9 @@ func newRuntime(t testing.TB) *Runtime {
 	return rt
 }
 
-var allModes = []Mode{CaQ, QaC, QaCPlus}
+var allModes = []Mode{CaQ, QaC, QaCPlus, QaCPlusPlus}
 
-// evalAll runs src under all three modes and checks they agree, returning
+// evalAll runs src under all four modes and checks they agree, returning
 // the (shared) result rendered as strings.
 func evalAll(t *testing.T, rt *Runtime, src string) []string {
 	t.Helper()
@@ -163,6 +163,15 @@ func TestPlanShapes(t *testing.T) {
 	// QaC+ descendant over the whole stream must not chain fillers calls
 	if strings.Contains(plus, fnFillers+"("+fnFillers) {
 		t.Fatalf("QaC+ should not reconcile intermediate holes:\n%s", plus)
+	}
+	pp := rt.MustCompile(src, QaCPlusPlus).Plan.String()
+	if !strings.Contains(pp, fnByLabel) {
+		t.Fatalf("QaC++ plan must use the label index:\n%s", pp)
+	}
+	for _, banned := range []string{fnByTSID, fnFillersB, fnFillers + "(", fnView} {
+		if strings.Contains(pp, banned) {
+			t.Fatalf("QaC++ plan must not use %s:\n%s", banned, pp)
+		}
 	}
 }
 

@@ -24,7 +24,10 @@ func statsFor(t *testing.T, ds *evalbench.Dataset, src string, mode xcql.Mode) x
 
 // Every plan must populate its stats on the Figure-4 workload: the
 // counters are the paper's cost quantities made observable, so an empty
-// profile means the instrumentation fell off an access path.
+// profile means the instrumentation fell off an access path. QaC++ is
+// the deliberate exception on the scan/resolve counters: its contract is
+// that every access is a label-index fetch, so FillersScanned and
+// HolesResolved must be exactly zero and LabelRangeLookups nonzero.
 func TestEvalStatsPopulated(t *testing.T) {
 	ds, err := evalbench.Build(0.005, true)
 	if err != nil {
@@ -36,11 +39,26 @@ func TestEvalStatsPopulated(t *testing.T) {
 			if s.Plan != mode.String() {
 				t.Errorf("%s/%s: Plan = %q", qc.Name, mode, s.Plan)
 			}
-			if s.FillersScanned == 0 {
-				t.Errorf("%s/%s: FillersScanned = 0", qc.Name, mode)
-			}
-			if s.HolesResolved == 0 {
-				t.Errorf("%s/%s: HolesResolved = 0", qc.Name, mode)
+			if mode == xcql.QaCPlusPlus {
+				if s.FillersScanned != 0 {
+					t.Errorf("%s/%s: FillersScanned = %d, want 0", qc.Name, mode, s.FillersScanned)
+				}
+				if s.HolesResolved != 0 {
+					t.Errorf("%s/%s: HolesResolved = %d, want 0", qc.Name, mode, s.HolesResolved)
+				}
+				if s.LabelRangeLookups == 0 {
+					t.Errorf("%s/%s: LabelRangeLookups = 0", qc.Name, mode)
+				}
+			} else {
+				if s.FillersScanned == 0 {
+					t.Errorf("%s/%s: FillersScanned = 0", qc.Name, mode)
+				}
+				if s.HolesResolved == 0 {
+					t.Errorf("%s/%s: HolesResolved = 0", qc.Name, mode)
+				}
+				if s.LabelRangeLookups != 0 {
+					t.Errorf("%s/%s: LabelRangeLookups = %d, want 0", qc.Name, mode, s.LabelRangeLookups)
+				}
 			}
 			if s.Steps == 0 {
 				t.Errorf("%s/%s: Steps = 0", qc.Name, mode)
@@ -61,8 +79,9 @@ func TestEvalStatsPopulated(t *testing.T) {
 // The paper's Figure-4 ordering, encoded on the counters instead of wall
 // time: under the scan cost model every store pass examines the whole
 // fragment log, so FillersScanned orders the plans by access cost —
-// QaC+ batches all hole ids of a step into one pass, QaC pays one pass
-// per hole, and CaQ pays one pass for every hole in the document.
+// QaC++ never scans at all (the label index answers everything), QaC+
+// batches all hole ids of a step into one pass, QaC pays one pass per
+// hole, and CaQ pays one pass for every hole in the document.
 func TestFillersScannedMonotonic(t *testing.T) {
 	// the cost-model claim is about scan passes: use the scan store
 	scan, err := evalbench.Build(0.005, true)
@@ -70,9 +89,20 @@ func TestFillersScannedMonotonic(t *testing.T) {
 		t.Fatal(err)
 	}
 	for _, qc := range evalbench.Queries() {
+		plusplus := statsFor(t, scan, qc.Src, xcql.QaCPlusPlus)
 		plus := statsFor(t, scan, qc.Src, xcql.QaCPlus)
 		qac := statsFor(t, scan, qc.Src, xcql.QaC)
 		caq := statsFor(t, scan, qc.Src, xcql.CaQ)
+		if !(plusplus.FillersScanned <= plus.FillersScanned) {
+			t.Errorf("%s: FillersScanned QaC++ (%d) !<= QaC+ (%d)",
+				qc.Name, plusplus.FillersScanned, plus.FillersScanned)
+		}
+		if plusplus.FillersScanned != 0 {
+			t.Errorf("%s: FillersScanned QaC++ (%d), want 0", qc.Name, plusplus.FillersScanned)
+		}
+		if plusplus.HolesResolved != 0 {
+			t.Errorf("%s: HolesResolved QaC++ (%d), want 0", qc.Name, plusplus.HolesResolved)
+		}
 		if !(plus.FillersScanned < qac.FillersScanned) {
 			t.Errorf("%s: FillersScanned QaC+ (%d) !< QaC (%d)",
 				qc.Name, plus.FillersScanned, qac.FillersScanned)
@@ -118,6 +148,21 @@ func TestTSIDIndexHitsOnlyUnderQaCPlus(t *testing.T) {
 		if s.TSIDLookups != 0 || s.TSIDIndexHits != 0 {
 			t.Errorf("%s: tsid lookups = %d hits = %d, want 0/0", mode, s.TSIDLookups, s.TSIDIndexHits)
 		}
+	}
+	// QaC++ takes the same shortcut through its own index: label-range
+	// hits instead of tsid-index hits, and zero of everything else
+	pp := statsFor(t, ds, src, xcql.QaCPlusPlus)
+	if pp.LabelRangeHits == 0 {
+		t.Errorf("QaC++: LabelRangeHits = 0 on a //-query, want > 0 (lookups=%d misses=%d)",
+			pp.LabelRangeLookups, pp.LabelRangeMisses)
+	}
+	if pp.TSIDLookups != 0 || pp.TSIDIndexHits != 0 {
+		t.Errorf("QaC++: tsid lookups = %d hits = %d, want 0/0 (the label index answers)",
+			pp.TSIDLookups, pp.TSIDIndexHits)
+	}
+	if pp.FillersScanned != 0 || pp.HolesResolved != 0 {
+		t.Errorf("QaC++: FillersScanned = %d HolesResolved = %d, want 0/0",
+			pp.FillersScanned, pp.HolesResolved)
 	}
 }
 

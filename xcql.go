@@ -12,12 +12,14 @@
 // projections e?[t1,t2], version projections e#[v1,v2], vtFrom/vtTo
 // lifespan accessors and the constants start and now.
 //
-// Queries compile to one of three physical plans over the fragment
+// Queries compile to one of four physical plans over the fragment
 // store: CaQ (materialize, then query), QaC (query fragments directly,
-// crossing holes on demand) and QaC+ (jump to the needed fragments via
-// the tsid index). All three produce identical results; they differ —
-// dramatically, see the benchmarks — in how much of the document they
-// touch.
+// crossing holes on demand), QaC+ (jump to the needed fragments via
+// the tsid index) and QaC++ (serve every access from a Dewey-style
+// prefix-label index, so evaluation never resolves a hole and never
+// scans the fragment log). All four produce identical results; they
+// differ — dramatically, see the benchmarks — in how much of the
+// document they touch.
 //
 // Quick start:
 //
@@ -54,7 +56,7 @@ import (
 // Re-exported types. The implementation lives in internal packages; these
 // aliases are the supported surface.
 type (
-	// Mode selects the physical plan: CaQ, QaC or QaCPlus.
+	// Mode selects the physical plan: CaQ, QaC, QaCPlus or QaCPlusPlus.
 	Mode = ixcql.Mode
 	// Query is a compiled XCQL query bound to an engine. Set Query.Limits
 	// and evaluate with Query.EvalContext for governed execution.
@@ -250,9 +252,10 @@ type (
 
 // Execution modes.
 const (
-	CaQ     = ixcql.CaQ
-	QaC     = ixcql.QaC
-	QaCPlus = ixcql.QaCPlus
+	CaQ         = ixcql.CaQ
+	QaC         = ixcql.QaC
+	QaCPlus     = ixcql.QaCPlus
+	QaCPlusPlus = ixcql.QaCPlusPlus
 )
 
 // Tag types.
@@ -277,7 +280,7 @@ const (
 // returns a depth ResourceError instead of crashing the process.
 const DefaultMaxDepth = budget.DefaultMaxDepth
 
-// ParseMode parses a plan name ("CaQ", "QaC", "QaC+").
+// ParseMode parses a plan name ("CaQ", "QaC", "QaC+", "QaC++").
 func ParseMode(s string) (Mode, error) { return ixcql.ParseMode(s) }
 
 // Engine owns a set of named streams and compiles XCQL queries against
